@@ -1,0 +1,83 @@
+// EXP-CHURN — robustness under arbitrary dynamics (the Sec. 3 model).
+//
+// Paper claim: the guarantees of Sec. 6 need only (T+D)-interval
+// connectivity — edges may otherwise appear and disappear arbitrarily.
+// This bench runs Algorithm 2 under three qualitatively different
+// dynamic workloads (random churn, rotating-star switching, random
+// waypoint mobility with a backbone) and reports the measured skews and
+// violation counts (must be 0) as the churn rate increases.
+#include <benchmark/benchmark.h>
+
+#include "harness/experiment.hpp"
+#include "net/scenario.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+gcs::harness::ExperimentConfig base(std::size_t n) {
+  gcs::harness::ExperimentConfig cfg;
+  cfg.name = "churn";
+  cfg.params.n = n;
+  cfg.params.rho = 0.05;
+  cfg.params.T = 1.0;
+  cfg.params.D = 2.5;
+  cfg.params.delta_h = 0.5;
+  cfg.drift = "walk";
+  cfg.delay = "uniform";
+  cfg.horizon = 200.0;
+  cfg.sample_dt = 1.0;
+  cfg.seed = 5;
+  return cfg;
+}
+
+void report(benchmark::State& state, const gcs::harness::ExperimentConfig& cfg) {
+  gcs::harness::ExperimentResult result;
+  for (auto _ : state) {
+    result = gcs::harness::run_experiment(cfg);
+  }
+  state.counters["topology_events"] =
+      static_cast<double>(cfg.scenario->events.size());
+  state.counters["global_meas"] = result.max_global_skew;
+  state.counters["global_bound"] = result.global_skew_bound;
+  state.counters["max_local"] = result.max_local_skew;
+  state.counters["violations"] = static_cast<double>(result.global_violations +
+                                                     result.envelope_violations);
+  state.counters["msg_lost"] = static_cast<double>(result.run_stats.messages_dropped);
+}
+
+void BM_Churn_EdgeSwap(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const double lifetime = static_cast<double>(state.range(1));
+  auto cfg = base(n);
+  gcs::util::Rng rng(11);
+  cfg.scenario = gcs::net::make_churn_scenario(n, n / 2, lifetime, cfg.horizon, rng);
+  report(state, cfg);
+}
+
+void BM_Churn_SwitchingStar(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto cfg = base(n);
+  cfg.scenario = gcs::net::make_switching_star_scenario(n, 25.0, 5.0, cfg.horizon);
+  report(state, cfg);
+}
+
+void BM_Churn_Mobility(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto cfg = base(n);
+  gcs::util::Rng rng(13);
+  cfg.scenario = gcs::net::make_mobility_scenario(n, 0.3, 0.01, 0.06, 2.0,
+                                                  cfg.horizon, true, rng);
+  report(state, cfg);
+}
+
+}  // namespace
+
+// Args: (n, volatile-edge lifetime in seconds) — shorter = harsher churn.
+BENCHMARK(BM_Churn_EdgeSwap)
+    ->Args({16, 40})->Args({16, 20})->Args({16, 10})
+    ->Args({32, 20})->Args({32, 10})
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK(BM_Churn_SwitchingStar)->Arg(16)->Arg(32)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK(BM_Churn_Mobility)->Arg(16)->Arg(32)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);

@@ -1,0 +1,93 @@
+// EXP-PERF — simulator engineering numbers (not from the paper).
+//
+// Throughput of the discrete-event kernel and of full Algorithm 2
+// simulations, in events per second, as n and edge density grow. These
+// are real google-benchmark timings (multiple iterations), unlike the
+// experiment benches which run once and report skew counters.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/dcsa_node.hpp"
+#include "core/network_sim.hpp"
+#include "harness/experiment.hpp"
+#include "net/topology.hpp"
+#include "sim/engine.hpp"
+
+namespace {
+
+void BM_EventQueue_ScheduleRun(benchmark::State& state) {
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    gcs::sim::Engine engine;
+    for (std::size_t i = 0; i < batch; ++i) {
+      engine.at(static_cast<double>(i % 97), [&sink] { ++sink; });
+    }
+    engine.run_until(1000.0);
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(static_cast<std::int64_t>(batch) * state.iterations());
+}
+
+void BM_DcsaSimulation(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  gcs::core::SyncParams params;
+  params.n = n;
+  params.rho = 0.05;
+  params.T = 1.0;
+  params.D = 2.5;
+  params.delta_h = 0.5;
+
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    std::vector<gcs::clk::RateSchedule> schedules;
+    for (std::size_t i = 0; i < n; ++i) {
+      schedules.emplace_back(i % 2 == 0 ? 1.0 + params.rho : 1.0 - params.rho);
+    }
+    gcs::core::SimOptions options;
+    options.check_conformance = false;  // measure the kernel, not the checks
+    gcs::core::NetworkSimulation sim(
+        params, gcs::net::DynamicGraph(n, gcs::net::make_ring(n).edges(), {}),
+        gcs::net::make_constant_delay(params.T, params.T / 2.0),
+        std::move(schedules),
+        [&params](gcs::core::NodeId) {
+          return std::make_unique<gcs::core::DcsaNode>(params);
+        },
+        options);
+    sim.run_until(50.0);
+    events = sim.events_executed();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events) * state.iterations());
+  state.counters["events_per_run"] = static_cast<double>(events);
+}
+
+void BM_DcsaSimulationWithChecks(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  gcs::harness::ExperimentConfig cfg;
+  cfg.params.n = n;
+  cfg.params.rho = 0.05;
+  cfg.params.T = 1.0;
+  cfg.params.D = 2.5;
+  cfg.params.delta_h = 0.5;
+  cfg.topology = "ring";
+  cfg.drift = "spread";
+  cfg.delay = "constant:0.5";
+  cfg.horizon = 50.0;
+  cfg.sample_dt = 5.0;
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    const auto result = gcs::harness::run_experiment(cfg);
+    events = result.events_executed;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events) * state.iterations());
+}
+
+}  // namespace
+
+BENCHMARK(BM_EventQueue_ScheduleRun)->Arg(1000)->Arg(100000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_DcsaSimulation)->Arg(8)->Arg(32)->Arg(128)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_DcsaSimulationWithChecks)->Arg(8)->Arg(32)
+    ->Unit(benchmark::kMillisecond);
