@@ -1,0 +1,87 @@
+#include "clk/clock.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+namespace gcs::clk {
+
+RateSchedule::RateSchedule(double rate) {
+  if (rate <= 0.0) throw std::invalid_argument("clock rate must be positive");
+  segments_.push_back(Segment{0.0, 0.0, rate});
+}
+
+RateSchedule RateSchedule::random_walk(double rho, double step_dt, double sigma,
+                                       std::uint64_t seed, double start_rate) {
+  if (rho < 0.0 || rho >= 1.0) {
+    throw std::invalid_argument("random_walk: rho must be in [0, 1)");
+  }
+  if (step_dt <= 0.0) {
+    throw std::invalid_argument("random_walk: step_dt must be positive");
+  }
+  RateSchedule s(std::clamp(start_rate, 1.0 - rho, 1.0 + rho));
+  s.walk_ = true;
+  s.lo_ = 1.0 - rho;
+  s.hi_ = 1.0 + rho;
+  s.step_dt_ = step_dt;
+  s.sigma_ = sigma;
+  s.gen_.seed(seed);
+  return s;
+}
+
+void RateSchedule::push_next_segment() const {
+  const Segment& last = segments_.back();
+  std::normal_distribution<double> step(0.0, sigma_);
+  const double next_rate = std::clamp(last.rate + step(gen_), lo_, hi_);
+  segments_.push_back(Segment{last.t0 + step_dt_,
+                              last.hw0 + last.rate * step_dt_, next_rate});
+}
+
+void RateSchedule::extend_to_time(double t) const {
+  if (!walk_) return;
+  while (segments_.back().t0 + step_dt_ <= t) push_next_segment();
+}
+
+void RateSchedule::extend_to_value(double v) const {
+  if (!walk_) return;
+  while (segments_.back().hw0 + segments_.back().rate * step_dt_ <= v) {
+    push_next_segment();
+  }
+}
+
+double RateSchedule::rate_at(double t) const {
+  extend_to_time(t);
+  auto it = std::upper_bound(
+      segments_.begin(), segments_.end(), t,
+      [](double x, const Segment& s) { return x < s.t0; });
+  assert(it != segments_.begin());
+  return std::prev(it)->rate;
+}
+
+HardwareClock::HardwareClock(RateSchedule schedule)
+    : schedule_(std::move(schedule)) {}
+
+double HardwareClock::value_at(double t) const {
+  schedule_.extend_to_time(t);
+  const auto& segs = schedule_.segments_;
+  auto it = std::upper_bound(
+      segs.begin(), segs.end(), t,
+      [](double x, const RateSchedule::Segment& s) { return x < s.t0; });
+  assert(it != segs.begin());
+  const auto& s = *std::prev(it);
+  return s.hw0 + s.rate * (t - s.t0);
+}
+
+double HardwareClock::time_when(double value) const {
+  schedule_.extend_to_value(value);
+  const auto& segs = schedule_.segments_;
+  auto it = std::upper_bound(
+      segs.begin(), segs.end(), value,
+      [](double v, const RateSchedule::Segment& s) { return v < s.hw0; });
+  assert(it != segs.begin());
+  const auto& s = *std::prev(it);
+  return s.t0 + (value - s.hw0) / s.rate;
+}
+
+}  // namespace gcs::clk

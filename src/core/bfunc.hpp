@@ -1,0 +1,54 @@
+// gcs::core -- the blocking-tolerance function B (paper Sec. 6).
+//
+// B(a) is the skew a node tolerates toward a neighbour across an edge of
+// hardware-clock age `a` before the edge blocks the node's jumps.  The
+// shape reproduces the paper's requirements:
+//
+//   * B(0) = b0 + G  exceeds the global skew bound G(n), so a newly
+//     appeared edge can never block (Lemma 6.10) -- whatever skew the two
+//     endpoints accumulated while disconnected fits under the initial
+//     tolerance;
+//   * B decays monotonically: after a grace period of tau (one discovery
+//     plus exchange window) the tolerance tightens at rate rho, slow
+//     enough that the catch-up dynamics (which close skew at rate >= 2rho
+//     between estimate refreshes) always outrun it;
+//   * B floors at the steady tolerance b0 once the edge has matured, at
+//     age decay_age() = tau + G / rho.
+//
+// Ages are hardware-clock ages: nodes time edge maturation on their own
+// clocks, so an edge matures after at most decay_age()/(1-rho) real time.
+#ifndef GCS_CORE_BFUNC_HPP
+#define GCS_CORE_BFUNC_HPP
+
+#include "core/params.hpp"
+
+namespace gcs::core {
+
+class BFunction {
+ public:
+  explicit BFunction(const SyncParams& p)
+      : BFunction(p.effective_b0(), p.global_skew_bound(), p.tau(), p.rho) {}
+
+  // b0: steady floor; g: the decaying headroom (normally G(n)); tau:
+  // decay grace period; rho: drift bound (the decay rate).
+  BFunction(double b0, double g, double tau, double rho);
+
+  // Tolerance at hardware-clock age `a` (clamped below at 0).
+  double operator()(double age) const;
+
+  double initial() const { return b0_ + g_; }
+  double floor() const { return b0_; }
+  double decay_rate() const { return rho_; }
+  // Age at which the tolerance reaches its floor.
+  double decay_age() const;
+
+ private:
+  double b0_;
+  double g_;
+  double tau_;
+  double rho_;
+};
+
+}  // namespace gcs::core
+
+#endif  // GCS_CORE_BFUNC_HPP

@@ -1,0 +1,196 @@
+#include "core/network_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace gcs::core {
+
+NetworkSimulation::NetworkSimulation(const SyncParams& params,
+                                     net::DynamicGraph graph,
+                                     net::DelayModel delay,
+                                     std::vector<clk::RateSchedule> schedules,
+                                     NodeFactory factory, SimOptions options)
+    : params_(params),
+      bfunc_(params),
+      delay_(std::move(delay)),
+      options_(options),
+      rng_(options.seed) {
+  const std::size_t n = graph.n();
+  if (schedules.size() != n) {
+    throw std::invalid_argument(
+        "NetworkSimulation: one RateSchedule per node required");
+  }
+  if (!delay_.sample) {
+    throw std::invalid_argument("NetworkSimulation: delay model has no sampler");
+  }
+  clocks_.reserve(n);
+  for (auto& s : schedules) clocks_.emplace_back(std::move(s));
+  nodes_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto node = factory(static_cast<NodeId>(i));
+    if (!node) throw std::invalid_argument("NetworkSimulation: null automaton");
+    node->start(static_cast<NodeId>(i), clocks_[i].value_at(0.0));
+    nodes_.push_back(std::move(node));
+  }
+  adjacency_.assign(n, {});
+  last_logical_.assign(n, 0.0);
+
+  for (const net::Edge& e : graph.initial_edges()) add_edge(e, 0.0, true);
+  for (const net::TopologyEvent& ev : graph.events()) {
+    engine_.at(ev.at, [this, ev] { apply_event(ev); });
+  }
+
+  // Broadcast phases are staggered across the first delta_h so that
+  // same-timestamp broadcast storms don't depend on node order.
+  next_broadcast_hw_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    next_broadcast_hw_[i] =
+        params_.delta_h * (static_cast<double>(i + 1) / static_cast<double>(n));
+    schedule_broadcast(static_cast<NodeId>(i));
+  }
+}
+
+void NetworkSimulation::run_until(sim::Time t) { engine_.run_until(t); }
+
+void NetworkSimulation::schedule_periodic(sim::Time start, sim::Duration period,
+                                          std::function<void(sim::Time)> fn) {
+  engine_.every(start, period, std::move(fn));
+}
+
+double NetworkSimulation::logical_clock(NodeId u) const {
+  return nodes_[u]->logical_clock(clocks_[u].value_at(engine_.now()));
+}
+
+double NetworkSimulation::hardware_clock(NodeId u) const {
+  return clocks_[u].value_at(engine_.now());
+}
+
+double NetworkSimulation::skew(NodeId u, NodeId v) const {
+  return logical_clock(u) - logical_clock(v);
+}
+
+std::vector<net::Edge> NetworkSimulation::current_edges() const {
+  std::vector<net::Edge> out;
+  out.reserve(edges_.size());
+  for (const auto& [e, state] : edges_) {
+    (void)state;
+    out.push_back(e);
+  }
+  return out;
+}
+
+double NetworkSimulation::edge_age(const net::Edge& e) const {
+  auto it = edges_.find(e);
+  if (it == edges_.end()) return -1.0;
+  return engine_.now() - it->second.up_time;
+}
+
+void NetworkSimulation::apply_event(const net::TopologyEvent& ev) {
+  ++stats_.topology_events_applied;
+  if (ev.add) {
+    add_edge(ev.edge, engine_.now(), false);
+  } else {
+    remove_edge(ev.edge, engine_.now());
+  }
+}
+
+void NetworkSimulation::add_edge(const net::Edge& e, sim::Time t,
+                                 bool initial) {
+  if (edges_.count(e)) return;  // redundant add
+  edges_[e] = EdgeState{t, ++next_incarnation_};
+  adjacency_[e.u].push_back(e.v);
+  adjacency_[e.v].push_back(e.u);
+  nodes_[e.u]->on_edge_up(e.v, clocks_[e.u].value_at(t));
+  nodes_[e.v]->on_edge_up(e.u, clocks_[e.v].value_at(t));
+  if (!initial) {
+    // Discovery exchange: both endpoints immediately send their clocks on
+    // the new edge, so it carries an estimate within one delay bound.
+    send(e.u, e.v, logical_clock(e.u), t);
+    send(e.v, e.u, logical_clock(e.v), t);
+  }
+}
+
+void NetworkSimulation::remove_edge(const net::Edge& e, sim::Time t) {
+  auto it = edges_.find(e);
+  if (it == edges_.end()) return;  // redundant remove
+  edges_.erase(it);
+  auto drop = [](std::vector<NodeId>& v, NodeId x) {
+    v.erase(std::remove(v.begin(), v.end(), x), v.end());
+  };
+  drop(adjacency_[e.u], e.v);
+  drop(adjacency_[e.v], e.u);
+  nodes_[e.u]->on_edge_down(e.v, clocks_[e.u].value_at(t));
+  nodes_[e.v]->on_edge_down(e.u, clocks_[e.v].value_at(t));
+}
+
+void NetworkSimulation::schedule_broadcast(NodeId u) {
+  const sim::Time when = clocks_[u].time_when(next_broadcast_hw_[u]);
+  engine_.at(when, [this, u] { broadcast(u); });
+}
+
+void NetworkSimulation::broadcast(NodeId u) {
+  const sim::Time t = engine_.now();
+  const double value = nodes_[u]->logical_clock(clocks_[u].value_at(t));
+  for (NodeId v : adjacency_[u]) send(u, v, value, t);
+  next_broadcast_hw_[u] += params_.delta_h;
+  schedule_broadcast(u);
+}
+
+void NetworkSimulation::send(NodeId from, NodeId to, double value,
+                             sim::Time t) {
+  const net::Edge e(from, to);
+  auto it = edges_.find(e);
+  if (it == edges_.end()) return;
+  const std::uint64_t incarnation = it->second.incarnation;
+  double d = delay_.sample(e, rng_);
+  d = std::clamp(d, 1e-12, delay_.bound);  // the model promises delay <= T
+  ++stats_.messages_sent;
+  engine_.at(t + d, [this, from, to, value, incarnation] {
+    deliver(from, to, value, incarnation);
+  });
+}
+
+void NetworkSimulation::deliver(NodeId from, NodeId to, double value,
+                                std::uint64_t incarnation) {
+  const net::Edge e(from, to);
+  auto it = edges_.find(e);
+  if (it == edges_.end() || it->second.incarnation != incarnation) {
+    ++stats_.messages_dropped;
+    return;
+  }
+  ++stats_.messages_delivered;
+  const double hw = clocks_[to].value_at(engine_.now());
+  nodes_[to]->on_message(from, value, hw);
+  const double jump = nodes_[to]->step(hw);
+  if (jump > 0.0) {
+    ++stats_.jumps;
+    stats_.total_jump += jump;
+  }
+  if (options_.check_conformance) {
+    check_edge_conformance(e);
+    const double logical = logical_clock(to);
+    if (logical < last_logical_[to] - options_.conformance_slack) {
+      ++stats_.conformance_monotonicity_failures;
+    }
+    last_logical_[to] = logical;
+  }
+}
+
+void NetworkSimulation::check_edge_conformance(const net::Edge& e) {
+  auto it = edges_.find(e);
+  if (it == edges_.end()) return;
+  ++stats_.conformance_checks;
+  // The node-side B runs on hardware ages, which an outside observer
+  // cannot see exactly; the slowest admissible clock gives the youngest
+  // age and hence the loosest envelope any conforming node could be
+  // holding, so checking against it never reports a false violation.
+  const double age_hw = (1.0 - params_.rho) * (engine_.now() - it->second.up_time);
+  const double allowed = bfunc_(age_hw) + options_.conformance_slack;
+  if (std::abs(skew(e.u, e.v)) > allowed) {
+    ++stats_.conformance_envelope_failures;
+  }
+}
+
+}  // namespace gcs::core

@@ -1,0 +1,123 @@
+// gcs::core -- NetworkSimulation: the glue layer.
+//
+// Owns the event engine, one hardware clock and one NodeAutomaton per
+// node, the live edge set, and the delay model, and turns a DynamicGraph
+// schedule into edge-up/edge-down callbacks, periodic per-node broadcasts
+// (every delta_h of HARDWARE time), and message deliveries.  Everything
+// observable (skew, clocks, stats) is queryable from outside, which is
+// what the harness and the benches build on.
+//
+// With SimOptions::check_conformance set, the simulator audits the run as
+// it goes: after every delivery it checks the delivered edge's skew
+// against the B envelope (evaluated at the most conservative hardware age
+// (1-rho) * real age) and checks that logical clocks never run backwards.
+// Violations are counted, never fatal -- bench_ablation deliberately runs
+// crippled tolerances to show the counters moving.
+#ifndef GCS_CORE_NETWORK_SIM_HPP
+#define GCS_CORE_NETWORK_SIM_HPP
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "clk/clock.hpp"
+#include "core/bfunc.hpp"
+#include "core/node_automaton.hpp"
+#include "core/params.hpp"
+#include "net/delay.hpp"
+#include "net/dynamic_graph.hpp"
+#include "sim/engine.hpp"
+#include "util/rng.hpp"
+
+namespace gcs::core {
+
+struct SimOptions {
+  bool check_conformance = true;
+  std::uint64_t seed = 42;            // drives delay sampling
+  double conformance_slack = 1e-6;    // float headroom on envelope checks
+};
+
+struct RunStats {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_delivered = 0;
+  std::uint64_t messages_dropped = 0;  // edge vanished while in flight
+  std::uint64_t jumps = 0;
+  double total_jump = 0.0;
+  std::uint64_t topology_events_applied = 0;
+  std::uint64_t conformance_checks = 0;
+  std::uint64_t conformance_envelope_failures = 0;
+  std::uint64_t conformance_monotonicity_failures = 0;
+};
+
+class NetworkSimulation {
+ public:
+  using NodeFactory =
+      std::function<std::unique_ptr<NodeAutomaton>(NodeId)>;
+
+  NetworkSimulation(const SyncParams& params, net::DynamicGraph graph,
+                    net::DelayModel delay,
+                    std::vector<clk::RateSchedule> schedules,
+                    NodeFactory factory, SimOptions options = SimOptions{});
+
+  NetworkSimulation(const NetworkSimulation&) = delete;
+  NetworkSimulation& operator=(const NetworkSimulation&) = delete;
+
+  void run_until(sim::Time t);
+  void schedule_periodic(sim::Time start, sim::Duration period,
+                         std::function<void(sim::Time)> fn);
+
+  double logical_clock(NodeId u) const;
+  double hardware_clock(NodeId u) const;
+  // L_u - L_v at the current simulation time.
+  double skew(NodeId u, NodeId v) const;
+
+  // Live edges at the current simulation time, sorted.
+  std::vector<net::Edge> current_edges() const;
+  // Real-time age of a live edge; negative if the edge is not present.
+  double edge_age(const net::Edge& e) const;
+
+  sim::Time now() const { return engine_.now(); }
+  std::uint64_t events_executed() const { return engine_.events_executed(); }
+  const RunStats& stats() const { return stats_; }
+  const SyncParams& params() const { return params_; }
+  const BFunction& bfunc() const { return bfunc_; }
+  std::size_t size() const { return nodes_.size(); }
+  NodeAutomaton& node(NodeId u) { return *nodes_[u]; }
+
+ private:
+  struct EdgeState {
+    sim::Time up_time = 0.0;
+    std::uint64_t incarnation = 0;
+  };
+
+  void apply_event(const net::TopologyEvent& ev);
+  void add_edge(const net::Edge& e, sim::Time t, bool initial);
+  void remove_edge(const net::Edge& e, sim::Time t);
+  void schedule_broadcast(NodeId u);
+  void broadcast(NodeId u);
+  void send(NodeId from, NodeId to, double value, sim::Time t);
+  void deliver(NodeId from, NodeId to, double value, std::uint64_t incarnation);
+  void check_edge_conformance(const net::Edge& e);
+
+  SyncParams params_;
+  BFunction bfunc_;
+  net::DelayModel delay_;
+  SimOptions options_;
+  util::Rng rng_;
+
+  sim::Engine engine_;
+  std::vector<clk::HardwareClock> clocks_;
+  std::vector<std::unique_ptr<NodeAutomaton>> nodes_;
+  std::vector<std::vector<NodeId>> adjacency_;
+  std::map<net::Edge, EdgeState> edges_;
+  std::uint64_t next_incarnation_ = 0;
+  std::vector<double> next_broadcast_hw_;
+  std::vector<double> last_logical_;  // monotonicity conformance
+  RunStats stats_;
+};
+
+}  // namespace gcs::core
+
+#endif  // GCS_CORE_NETWORK_SIM_HPP

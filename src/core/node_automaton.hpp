@@ -1,0 +1,47 @@
+// gcs::core -- the protocol-automaton interface.
+//
+// NetworkSimulation is protocol-agnostic: it owns clocks, edges, and
+// message delivery, and drives one NodeAutomaton per node through this
+// interface.  All times handed to an automaton are readings of ITS OWN
+// hardware clock -- automata never see real time, exactly as in the
+// paper's model.  The simulator calls step() after every input event; the
+// automaton returns the (non-negative) amount it jumped its logical clock
+// forward, which the simulator uses for statistics and conformance
+// checking.
+#ifndef GCS_CORE_NODE_AUTOMATON_HPP
+#define GCS_CORE_NODE_AUTOMATON_HPP
+
+#include "net/topology.hpp"
+
+namespace gcs::core {
+
+using NodeId = net::NodeId;
+
+class NodeAutomaton {
+ public:
+  virtual ~NodeAutomaton() = default;
+
+  // Called once before any other callback; hw_now is the node's initial
+  // hardware-clock reading (normally 0).
+  virtual void start(NodeId self, double hw_now) = 0;
+
+  virtual void on_edge_up(NodeId peer, double hw_now) = 0;
+  virtual void on_edge_down(NodeId peer, double hw_now) = 0;
+
+  // A neighbour's logical clock value, sampled at its send time.
+  virtual void on_message(NodeId from, double logical_value, double hw_now) = 0;
+
+  // Runs the jump rule; returns the jump applied (0 if none).
+  virtual double step(double hw_now) = 0;
+
+  // The node's logical clock as a function of its hardware clock.
+  virtual double logical_clock(double hw_now) const = 0;
+
+  // True while the node wants to advance beyond its hardware rate
+  // (Algorithm 2's fast mode).
+  virtual bool fast_mode() const = 0;
+};
+
+}  // namespace gcs::core
+
+#endif  // GCS_CORE_NODE_AUTOMATON_HPP

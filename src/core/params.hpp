@@ -1,0 +1,55 @@
+// gcs::core -- the model constants of Kuhn-Locher-Oshman (SPAA'09).
+//
+//   rho      bound on hardware clock drift: rates stay in [1-rho, 1+rho]
+//   T        upper bound on message delay over a live edge
+//   D        discovery/connectivity slack of the dynamic model (Sec. 3):
+//            the guarantees only require the graph to be connected over
+//            windows of length T + D, and a newly appeared edge has
+//            completed its first clock exchange within T + D
+//   delta_h  broadcast period, measured on each node's HARDWARE clock
+//   B0       steady-state local skew tolerance on a fully matured edge;
+//            0 selects the smallest sound value min_b0()
+//   n        number of nodes (enters the global skew bound G(n))
+//
+// Derived quantities (see DESIGN.md for the derivations):
+//   tau()               = T + D, the information-staleness window all the
+//                         tolerance constants are expressed in
+//   min_b0()            = 4 (1+rho) tau -- smallest steady tolerance that
+//                         keeps the jump rule's caps from throttling
+//                         normal chasing
+//   global_skew_bound() = n (1+3rho)(delta_h + T) + effective_b0() -- the
+//                         worst case is a path where every hop contributes
+//                         one broadcast interval of staleness
+#ifndef GCS_CORE_PARAMS_HPP
+#define GCS_CORE_PARAMS_HPP
+
+#include <algorithm>
+#include <cstddef>
+
+namespace gcs::core {
+
+struct SyncParams {
+  std::size_t n = 2;
+  double rho = 0.05;
+  double T = 1.0;
+  double D = 2.0;
+  double delta_h = 0.5;
+  double B0 = 0.0;
+
+  double tau() const { return T + D; }
+
+  double min_b0() const { return 4.0 * (1.0 + rho) * tau(); }
+
+  double effective_b0() const {
+    return B0 > 0.0 ? std::max(B0, min_b0()) : min_b0();
+  }
+
+  double global_skew_bound() const {
+    return static_cast<double>(n) * (1.0 + 3.0 * rho) * (delta_h + T) +
+           effective_b0();
+  }
+};
+
+}  // namespace gcs::core
+
+#endif  // GCS_CORE_PARAMS_HPP

@@ -1,0 +1,74 @@
+// gcs::harness -- the experiment layer: a declarative config in, a
+// measured + audited result out.
+//
+// run_experiment assembles a NetworkSimulation from strings and numbers
+// (so benches and future CLI tools never hand-wire the stack), samples
+// the network every `sample_dt`, and reports:
+//   * max global skew (max - min over all logical clocks) against the
+//     analytic bound G(n), counting violations;
+//   * max local skew over live edges against the B(age) envelope,
+//     counting violations (the paper's gradient property);
+//   * the simulator's run statistics and event counts.
+// A correct run reports zero violations; the benches assert exactly that
+// narrative (bench_churn's `violations` counter).
+#ifndef GCS_HARNESS_EXPERIMENT_HPP
+#define GCS_HARNESS_EXPERIMENT_HPP
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "core/network_sim.hpp"
+#include "core/params.hpp"
+#include "net/scenario.hpp"
+
+namespace gcs::harness {
+
+struct ExperimentConfig {
+  std::string name = "experiment";
+  core::SyncParams params;
+
+  // Explicit dynamic workload; when unset, a static scenario is built
+  // from `topology`: "path" | "ring" | "star" | "complete".
+  std::optional<net::Scenario> scenario;
+  std::string topology = "path";
+
+  // Hardware drift model: "spread" (constant rates evenly spaced over
+  // [1-rho, 1+rho]), "walk" (per-node random-walk drift), or "two-camp"
+  // (half the nodes at 1+rho, half at 1-rho).
+  std::string drift = "spread";
+
+  // Delay model: "uniform" (uniform over [0, T]) or "constant[:x]"
+  // (exactly x, default T).
+  std::string delay = "uniform";
+
+  double horizon = 100.0;
+  double sample_dt = 1.0;
+  // Master seed for the run: drives drift walks AND the simulator's
+  // delay sampling (options.seed is overridden with this value, so set
+  // `seed`, not `options.seed`, to vary a run).
+  std::uint64_t seed = 1;
+  core::SimOptions options;
+};
+
+struct ExperimentResult {
+  std::string name;
+  double max_global_skew = 0.0;
+  double max_local_skew = 0.0;
+  double global_skew_bound = 0.0;
+  double local_skew_floor = 0.0;  // steady tolerance b0 on matured edges
+  std::uint64_t global_violations = 0;
+  // B-envelope violations: sample-time live-edge checks plus the
+  // simulator's delivery-time conformance checks of the same property.
+  // Monotonicity failures are reported separately in run_stats.
+  std::uint64_t envelope_violations = 0;
+  std::uint64_t samples = 0;
+  std::uint64_t events_executed = 0;
+  core::RunStats run_stats;
+};
+
+ExperimentResult run_experiment(const ExperimentConfig& config);
+
+}  // namespace gcs::harness
+
+#endif  // GCS_HARNESS_EXPERIMENT_HPP

@@ -1,0 +1,32 @@
+// gcs::net -- message-delay models.
+//
+// The algorithm's constants assume every message on a live edge arrives
+// within T (SyncParams::T).  A DelayModel carries that bound plus a
+// sampler; the simulator clamps every sample into (0, bound] so a buggy
+// model can never violate the assumption the proofs rest on.
+#ifndef GCS_NET_DELAY_HPP
+#define GCS_NET_DELAY_HPP
+
+#include <functional>
+
+#include "net/topology.hpp"
+#include "sim/engine.hpp"
+#include "util/rng.hpp"
+
+namespace gcs::net {
+
+struct DelayModel {
+  sim::Duration bound = 1.0;
+  std::function<sim::Duration(const Edge&, util::Rng&)> sample;
+};
+
+// Every message takes exactly `value` (clamped to the bound).
+DelayModel make_constant_delay(sim::Duration bound, sim::Duration value);
+
+// Delays drawn uniformly from [lo, hi] (clamped to (0, bound]).
+DelayModel make_uniform_delay(sim::Duration bound, sim::Duration lo,
+                              sim::Duration hi);
+
+}  // namespace gcs::net
+
+#endif  // GCS_NET_DELAY_HPP

@@ -1,0 +1,47 @@
+#include "net/dynamic_graph.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+#include <utility>
+
+namespace gcs::net {
+
+DynamicGraph::DynamicGraph(std::size_t n, std::vector<Edge> initial_edges,
+                           std::vector<TopologyEvent> events)
+    : n_(n),
+      initial_edges_(std::move(initial_edges)),
+      events_(std::move(events)) {
+  for (const Edge& e : initial_edges_) {
+    if (e.v >= n_ || e.u == e.v) {
+      throw std::invalid_argument("DynamicGraph: initial edge out of range");
+    }
+  }
+  for (const TopologyEvent& ev : events_) {
+    if (ev.edge.v >= n_ || ev.edge.u == ev.edge.v) {
+      throw std::invalid_argument("DynamicGraph: event edge out of range");
+    }
+  }
+  std::stable_sort(
+      events_.begin(), events_.end(),
+      [](const TopologyEvent& a, const TopologyEvent& b) { return a.at < b.at; });
+}
+
+std::vector<Edge> DynamicGraph::edges_at(sim::Time t) const {
+  std::set<Edge> live(initial_edges_.begin(), initial_edges_.end());
+  for (const TopologyEvent& ev : events_) {
+    if (ev.at > t) break;
+    if (ev.add) {
+      live.insert(ev.edge);
+    } else {
+      live.erase(ev.edge);
+    }
+  }
+  return std::vector<Edge>(live.begin(), live.end());
+}
+
+bool DynamicGraph::connected_at(sim::Time t) const {
+  return is_connected(n_, edges_at(t));
+}
+
+}  // namespace gcs::net

@@ -1,0 +1,51 @@
+// gcs::net -- the dynamic-network model (paper Sec. 3).
+//
+// The adversary may insert and remove edges arbitrarily over time; the
+// guarantees of the algorithm layer only need the communication graph to
+// stay connected over (T + D)-length windows.  A DynamicGraph is the full
+// schedule of one adversary: an initial edge set plus a time-sorted list
+// of TopologyEvents.  NetworkSimulation drives the events through the
+// event engine; the replay helpers here (edges_at / connected_at) exist
+// for tests and offline analysis.
+#ifndef GCS_NET_DYNAMIC_GRAPH_HPP
+#define GCS_NET_DYNAMIC_GRAPH_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "net/topology.hpp"
+#include "sim/engine.hpp"
+
+namespace gcs::net {
+
+struct TopologyEvent {
+  sim::Time at = 0.0;
+  Edge edge;
+  bool add = true;  // true: edge appears; false: edge disappears
+};
+
+class DynamicGraph {
+ public:
+  // Events are stably sorted by time on construction, preserving the
+  // relative order of same-timestamp events.
+  DynamicGraph(std::size_t n, std::vector<Edge> initial_edges,
+               std::vector<TopologyEvent> events);
+
+  std::size_t n() const { return n_; }
+  const std::vector<Edge>& initial_edges() const { return initial_edges_; }
+  const std::vector<TopologyEvent>& events() const { return events_; }
+
+  // Replays events with timestamp <= t over the initial edge set.
+  // Redundant adds/removes are ignored, matching the simulator.
+  std::vector<Edge> edges_at(sim::Time t) const;
+  bool connected_at(sim::Time t) const;
+
+ private:
+  std::size_t n_;
+  std::vector<Edge> initial_edges_;
+  std::vector<TopologyEvent> events_;
+};
+
+}  // namespace gcs::net
+
+#endif  // GCS_NET_DYNAMIC_GRAPH_HPP

@@ -1,0 +1,218 @@
+#include "net/scenario.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <stdexcept>
+
+namespace gcs::net {
+
+Scenario make_static_scenario(const Topology& topology) {
+  Scenario s;
+  s.name = "static";
+  s.n = topology.n();
+  s.initial_edges = topology.edges();
+  return s;
+}
+
+namespace {
+
+// Draws a random edge on n nodes that is in neither `backbone` nor `live`.
+Edge draw_fresh_edge(std::size_t n, const std::set<Edge>& backbone,
+                     const std::set<Edge>& live, util::Rng& rng) {
+  for (int attempt = 0; attempt < 256; ++attempt) {
+    const auto a = static_cast<NodeId>(rng.uniform_int(0, n - 1));
+    const auto b = static_cast<NodeId>(rng.uniform_int(0, n - 1));
+    if (a == b) continue;
+    const Edge e(a, b);
+    if (backbone.count(e) || live.count(e)) continue;
+    return e;
+  }
+  throw std::runtime_error("draw_fresh_edge: graph too dense to churn");
+}
+
+}  // namespace
+
+Scenario make_churn_scenario(std::size_t n, std::size_t volatile_edges,
+                             double lifetime, double horizon, util::Rng& rng) {
+  if (n < 4) throw std::invalid_argument("make_churn_scenario: need n >= 4");
+  if (lifetime <= 0.0 || horizon <= 0.0) {
+    throw std::invalid_argument("make_churn_scenario: bad times");
+  }
+  Scenario s;
+  s.name = "churn";
+  s.n = n;
+  const Topology ring = make_ring(n);
+  s.initial_edges = ring.edges();
+  const std::set<Edge> backbone(s.initial_edges.begin(), s.initial_edges.end());
+
+  // Each slot alternates between "about to be born" and "alive until its
+  // death time".  Processing the slots chronologically keeps `live`
+  // time-consistent, so no two slots ever host the same edge at once.
+  struct SlotState {
+    double t;  // birth time if !alive, death time if alive
+    std::size_t slot;
+    bool alive;
+    Edge edge;
+  };
+  const auto later = [](const SlotState& a, const SlotState& b) {
+    if (a.t != b.t) return a.t > b.t;
+    return a.slot > b.slot;
+  };
+  std::vector<SlotState> heap;
+  for (std::size_t slot = 0; slot < volatile_edges; ++slot) {
+    // Stagger slot births across the first lifetime so deaths don't align.
+    heap.push_back(SlotState{rng.uniform(0.0, lifetime), slot, false, Edge{}});
+  }
+  std::make_heap(heap.begin(), heap.end(), later);
+
+  std::set<Edge> live;
+  while (!heap.empty() && heap.front().t < horizon) {
+    std::pop_heap(heap.begin(), heap.end(), later);
+    SlotState st = heap.back();
+    heap.pop_back();
+    if (st.alive) {
+      s.events.push_back(TopologyEvent{st.t, st.edge, false});
+      live.erase(st.edge);
+      st.alive = false;  // reborn immediately with a fresh edge
+    } else {
+      st.edge = draw_fresh_edge(n, backbone, live, rng);
+      live.insert(st.edge);
+      s.events.push_back(TopologyEvent{st.t, st.edge, true});
+      st.alive = true;
+      st.t += lifetime * rng.uniform(0.75, 1.25);
+    }
+    heap.push_back(st);
+    std::push_heap(heap.begin(), heap.end(), later);
+  }
+  return s;
+}
+
+Scenario make_switching_star_scenario(std::size_t n, double period,
+                                      double overlap, double horizon) {
+  if (n < 3) {
+    throw std::invalid_argument("make_switching_star_scenario: need n >= 3");
+  }
+  if (overlap <= 0.0 || overlap >= period) {
+    throw std::invalid_argument(
+        "make_switching_star_scenario: need 0 < overlap < period");
+  }
+  Scenario s;
+  s.name = "switching-star";
+  s.n = n;
+  s.initial_edges = make_star(n, 0).edges();
+
+  std::set<Edge> live(s.initial_edges.begin(), s.initial_edges.end());
+  NodeId old_hub = 0;
+  std::size_t k = 1;
+  for (double t = period; t < horizon; t += period, ++k) {
+    const auto new_hub = static_cast<NodeId>(k % n);
+    // Bring up the incoming star first...
+    for (NodeId x = 0; x < static_cast<NodeId>(n); ++x) {
+      if (x == new_hub) continue;
+      const Edge e(new_hub, x);
+      if (live.insert(e).second) {
+        s.events.push_back(TopologyEvent{t, e, true});
+      }
+    }
+    // ...then tear down the outgoing spokes `overlap` later, keeping the
+    // (old_hub, new_hub) spoke, which now belongs to the incoming star.
+    for (NodeId x = 0; x < static_cast<NodeId>(n); ++x) {
+      if (x == old_hub || x == new_hub) continue;
+      const Edge e(old_hub, x);
+      if (live.erase(e) > 0) {
+        s.events.push_back(TopologyEvent{t + overlap, e, false});
+      }
+    }
+    old_hub = new_hub;
+  }
+  return s;
+}
+
+Scenario make_mobility_scenario(std::size_t n, double radius, double speed_min,
+                                double speed_max, double update_dt,
+                                double horizon, bool backbone, util::Rng& rng) {
+  if (n < 2) throw std::invalid_argument("make_mobility_scenario: need n >= 2");
+  if (radius <= 0.0 || update_dt <= 0.0 || speed_min < 0.0 ||
+      speed_max < speed_min) {
+    throw std::invalid_argument("make_mobility_scenario: bad parameters");
+  }
+  Scenario s;
+  s.name = "mobility";
+  s.n = n;
+
+  std::set<Edge> backbone_edges;
+  if (backbone) {
+    const Topology ring = make_ring(n);
+    backbone_edges.insert(ring.edges().begin(), ring.edges().end());
+  }
+
+  struct Mote {
+    double x, y;        // position
+    double wx, wy;      // waypoint
+    double speed;
+  };
+  std::vector<Mote> motes(n);
+  for (Mote& m : motes) {
+    m.x = rng.uniform(0.0, 1.0);
+    m.y = rng.uniform(0.0, 1.0);
+    m.wx = rng.uniform(0.0, 1.0);
+    m.wy = rng.uniform(0.0, 1.0);
+    m.speed = rng.uniform(speed_min, speed_max);
+  }
+
+  const auto radio_edges = [&]() {
+    std::set<Edge> edges;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        const double dx = motes[i].x - motes[j].x;
+        const double dy = motes[i].y - motes[j].y;
+        if (std::hypot(dx, dy) <= radius) {
+          edges.insert(Edge(static_cast<NodeId>(i), static_cast<NodeId>(j)));
+        }
+      }
+    }
+    return edges;
+  };
+
+  std::set<Edge> prev = radio_edges();
+  {
+    std::set<Edge> initial = prev;
+    initial.insert(backbone_edges.begin(), backbone_edges.end());
+    s.initial_edges.assign(initial.begin(), initial.end());
+  }
+
+  for (double t = update_dt; t < horizon; t += update_dt) {
+    for (Mote& m : motes) {
+      double dx = m.wx - m.x;
+      double dy = m.wy - m.y;
+      const double dist = std::hypot(dx, dy);
+      const double step = m.speed * update_dt;
+      if (dist <= step) {
+        m.x = m.wx;
+        m.y = m.wy;
+        m.wx = rng.uniform(0.0, 1.0);
+        m.wy = rng.uniform(0.0, 1.0);
+        m.speed = rng.uniform(speed_min, speed_max);
+      } else {
+        m.x += dx / dist * step;
+        m.y += dy / dist * step;
+      }
+    }
+    const std::set<Edge> cur = radio_edges();
+    for (const Edge& e : cur) {
+      if (!prev.count(e) && !backbone_edges.count(e)) {
+        s.events.push_back(TopologyEvent{t, e, true});
+      }
+    }
+    for (const Edge& e : prev) {
+      if (!cur.count(e) && !backbone_edges.count(e)) {
+        s.events.push_back(TopologyEvent{t, e, false});
+      }
+    }
+    prev = cur;
+  }
+  return s;
+}
+
+}  // namespace gcs::net

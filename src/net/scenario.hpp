@@ -1,0 +1,72 @@
+// gcs::net -- scenarios: named dynamic-network workloads.
+//
+// A Scenario is a portable description of one adversary (initial edges +
+// topology events) that the harness and benches hand to the simulator.
+// The generators here produce the three qualitatively different dynamics
+// the experiments exercise:
+//
+//  * churn       -- a stable ring backbone (so (T+D)-interval connectivity
+//                   holds trivially) plus a pool of volatile shortcut
+//                   edges that are born and die with a configurable
+//                   lifetime;
+//  * switching star -- the whole graph is a star whose hub rotates; the
+//                   new star is brought up `overlap` seconds before the
+//                   old one is torn down so the network never partitions;
+//  * mobility    -- random-waypoint motion in the unit square with a
+//                   radius-based connectivity graph, optionally unioned
+//                   with a static ring backbone to keep it connected.
+#ifndef GCS_NET_SCENARIO_HPP
+#define GCS_NET_SCENARIO_HPP
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "net/dynamic_graph.hpp"
+#include "net/topology.hpp"
+#include "util/rng.hpp"
+
+namespace gcs::net {
+
+struct Scenario {
+  std::string name;
+  std::size_t n = 0;
+  std::vector<Edge> initial_edges;
+  // In no particular order; DynamicGraph stably sorts by time on
+  // construction, so generators and callers need not pre-sort.
+  std::vector<TopologyEvent> events;
+
+  DynamicGraph to_dynamic_graph() const {
+    return DynamicGraph(n, initial_edges, events);
+  }
+};
+
+// The topology as-is, with no dynamics.
+Scenario make_static_scenario(const Topology& topology);
+
+// Ring backbone + `volatile_edges` churning shortcut slots.  Each slot
+// holds a random non-backbone edge that lives ~`lifetime` seconds (+-25%
+// jitter) before being replaced by a fresh random edge.  Slot births are
+// staggered across the first lifetime.
+Scenario make_churn_scenario(std::size_t n, std::size_t volatile_edges,
+                             double lifetime, double horizon, util::Rng& rng);
+
+// Star whose hub rotates to the next node every `period` seconds.  The
+// incoming hub's star is added `overlap` seconds before the outgoing
+// hub's spokes are removed (requires 0 < overlap < period).
+Scenario make_switching_star_scenario(std::size_t n, double period,
+                                      double overlap, double horizon);
+
+// Random-waypoint mobility in the unit square: nodes move at speeds in
+// [speed_min, speed_max] toward uniformly re-drawn waypoints; every
+// `update_dt` seconds the connectivity graph (edges between nodes within
+// `radius`) is recomputed and diffed into topology events.  With
+// `backbone` set, a static ring is kept up throughout so the graph never
+// partitions.
+Scenario make_mobility_scenario(std::size_t n, double radius, double speed_min,
+                                double speed_max, double update_dt,
+                                double horizon, bool backbone, util::Rng& rng);
+
+}  // namespace gcs::net
+
+#endif  // GCS_NET_SCENARIO_HPP

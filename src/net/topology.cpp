@@ -1,0 +1,113 @@
+#include "net/topology.hpp"
+
+#include <numeric>
+#include <stdexcept>
+#include <utility>
+
+#include "util/rng.hpp"
+
+namespace gcs::net {
+
+namespace {
+
+// Union-find over n nodes.
+class DisjointSets {
+ public:
+  explicit DisjointSets(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), NodeId{0});
+  }
+  NodeId find(NodeId x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  bool unite(NodeId a, NodeId b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return false;
+    parent_[a] = b;
+    return true;
+  }
+
+ private:
+  std::vector<NodeId> parent_;
+};
+
+}  // namespace
+
+Topology::Topology(std::size_t n, std::vector<Edge> edges)
+    : n_(n), edges_(std::move(edges)) {
+  for (const Edge& e : edges_) {
+    if (e.v >= n_ || e.u == e.v) {
+      throw std::invalid_argument("Topology: edge endpoint out of range");
+    }
+  }
+}
+
+bool is_connected(std::size_t n, const std::vector<Edge>& edges) {
+  if (n <= 1) return true;
+  DisjointSets sets(n);
+  std::size_t components = n;
+  for (const Edge& e : edges) {
+    if (sets.unite(e.u, e.v)) --components;
+  }
+  return components == 1;
+}
+
+bool Topology::is_connected() const { return net::is_connected(n_, edges_); }
+
+Topology make_path(std::size_t n) {
+  std::vector<Edge> edges;
+  edges.reserve(n > 0 ? n - 1 : 0);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    edges.emplace_back(static_cast<NodeId>(i), static_cast<NodeId>(i + 1));
+  }
+  return Topology(n, std::move(edges));
+}
+
+Topology make_ring(std::size_t n) {
+  if (n < 3) return make_path(n);
+  std::vector<Edge> edges;
+  edges.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    edges.emplace_back(static_cast<NodeId>(i),
+                       static_cast<NodeId>((i + 1) % n));
+  }
+  return Topology(n, std::move(edges));
+}
+
+Topology make_star(std::size_t n, NodeId hub) {
+  if (hub >= n) throw std::invalid_argument("make_star: hub out of range");
+  std::vector<Edge> edges;
+  edges.reserve(n > 0 ? n - 1 : 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (static_cast<NodeId>(i) == hub) continue;
+    edges.emplace_back(hub, static_cast<NodeId>(i));
+  }
+  return Topology(n, std::move(edges));
+}
+
+Topology make_complete(std::size_t n) {
+  std::vector<Edge> edges;
+  edges.reserve(n * (n - 1) / 2);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      edges.emplace_back(static_cast<NodeId>(i), static_cast<NodeId>(j));
+    }
+  }
+  return Topology(n, std::move(edges));
+}
+
+Topology make_random_tree(std::size_t n, util::Rng& rng) {
+  std::vector<Edge> edges;
+  edges.reserve(n > 0 ? n - 1 : 0);
+  for (std::size_t i = 1; i < n; ++i) {
+    const auto parent = static_cast<NodeId>(rng.uniform_int(0, i - 1));
+    edges.emplace_back(parent, static_cast<NodeId>(i));
+  }
+  return Topology(n, std::move(edges));
+}
+
+}  // namespace gcs::net

@@ -1,0 +1,52 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+namespace gcs::sim {
+
+void Engine::at(Time t, std::function<void()> fn) {
+  heap_.push_back(Event{std::max(t, now_), next_seq_++, std::move(fn)});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+}
+
+void Engine::every(Time first, Duration period, std::function<void(Time)> fn) {
+  struct Chain {
+    Engine* engine;
+    Duration period;
+    std::function<void(Time)> fn;
+    std::function<void(Time)> fire;
+  };
+  auto chain = std::make_shared<Chain>(Chain{this, period, std::move(fn), {}});
+  // The engine owns the chain; scheduled events capture only a weak_ptr,
+  // so there is no shared_ptr cycle and destroying the engine frees every
+  // periodic callback.
+  periodic_chains_.push_back(chain);
+  std::weak_ptr<Chain> weak = chain;
+  chain->fire = [weak](Time t) {
+    auto c = weak.lock();
+    if (!c) return;
+    c->fn(t);
+    c->engine->at(t + c->period, [weak, next = t + c->period] {
+      if (auto c2 = weak.lock()) c2->fire(next);
+    });
+  };
+  at(first, [weak, first] {
+    if (auto c = weak.lock()) c->fire(first);
+  });
+}
+
+void Engine::run_until(Time horizon) {
+  while (!heap_.empty() && heap_.front().t <= horizon) {
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    Event ev = std::move(heap_.back());
+    heap_.pop_back();
+    now_ = std::max(now_, ev.t);
+    ++executed_;
+    ev.fn();
+  }
+  now_ = std::max(now_, horizon);
+}
+
+}  // namespace gcs::sim

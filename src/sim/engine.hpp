@@ -1,0 +1,71 @@
+// gcs::sim -- deterministic discrete-event kernel.
+//
+// The engine is the bottom layer of the simulation stack: everything above
+// it (clocks, message delivery, topology changes, periodic samplers) is
+// expressed as timestamped callbacks.  Determinism is load-bearing: two
+// runs with the same inputs must execute the same callbacks in the same
+// order, so events are ordered by (timestamp, insertion sequence) and ties
+// are FIFO.
+#ifndef GCS_SIM_ENGINE_HPP
+#define GCS_SIM_ENGINE_HPP
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace gcs::sim {
+
+using Time = double;
+using Duration = double;
+
+class Engine {
+ public:
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  // Schedules `fn` at absolute time `t`.  Scheduling in the past (t <
+  // now()) clamps to now(): the event runs on the next run_until() pass.
+  void at(Time t, std::function<void()> fn);
+
+  // Self-rescheduling periodic callback: fires at `first`, `first +
+  // period`, ...  There is no cancellation; a periodic callback simply
+  // stops being serviced once run_until() is never called past its next
+  // firing time.
+  void every(Time first, Duration period, std::function<void(Time)> fn);
+
+  // Executes every pending event with timestamp <= horizon, including
+  // events scheduled by callbacks during the run, in (time, seq) order.
+  // Advances now() to max(now, horizon).
+  void run_until(Time horizon);
+
+  Time now() const { return now_; }
+  std::uint64_t events_executed() const { return executed_; }
+  std::size_t pending() const { return heap_.size(); }
+
+ private:
+  struct Event {
+    Time t;
+    std::uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.t != b.t) return a.t > b.t;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::vector<Event> heap_;  // binary min-heap via std::push_heap/pop_heap
+  // Owners of the self-rescheduling chains created by every(); scheduled
+  // events only hold weak references into these.
+  std::vector<std::shared_ptr<void>> periodic_chains_;
+  Time now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace gcs::sim
+
+#endif  // GCS_SIM_ENGINE_HPP

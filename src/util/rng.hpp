@@ -1,0 +1,41 @@
+// gcs::util -- small deterministic RNG wrapper shared by scenario
+// generators, delay models, and drift schedules.  All randomness in a run
+// flows through explicitly seeded Rng instances so that experiments are
+// reproducible event-for-event.
+#ifndef GCS_UTIL_RNG_HPP
+#define GCS_UTIL_RNG_HPP
+
+#include <cstdint>
+#include <random>
+
+namespace gcs::util {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 1) : gen_(seed) {}
+
+  double uniform(double lo, double hi) {
+    std::uniform_real_distribution<double> dist(lo, hi);
+    return dist(gen_);
+  }
+
+  // Inclusive on both ends.
+  std::uint64_t uniform_int(std::uint64_t lo, std::uint64_t hi) {
+    std::uniform_int_distribution<std::uint64_t> dist(lo, hi);
+    return dist(gen_);
+  }
+
+  double normal(double mean, double stddev) {
+    std::normal_distribution<double> dist(mean, stddev);
+    return dist(gen_);
+  }
+
+  std::mt19937_64& engine() { return gen_; }
+
+ private:
+  std::mt19937_64 gen_;
+};
+
+}  // namespace gcs::util
+
+#endif  // GCS_UTIL_RNG_HPP

@@ -1,0 +1,131 @@
+#include "core/dcsa_node.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/network_sim.hpp"
+#include "core/weighted_dcsa_node.hpp"
+#include "net/delay.hpp"
+#include "net/scenario.hpp"
+
+namespace {
+
+gcs::core::SyncParams small_params(std::size_t n) {
+  gcs::core::SyncParams p;
+  p.n = n;
+  p.rho = 0.05;
+  p.T = 1.0;
+  p.D = 2.0;
+  p.delta_h = 0.5;
+  return p;
+}
+
+TEST(DcsaNode, JumpsTowardLargerEstimateButNeverBackwards) {
+  const auto p = small_params(2);
+  gcs::core::DcsaNode node(p);
+  node.start(0, 0.0);
+  node.on_edge_up(1, 0.0);
+  EXPECT_DOUBLE_EQ(node.logical_clock(5.0), 5.0);
+
+  node.on_message(1, 20.0, 5.0);
+  const double jump = node.step(5.0);
+  EXPECT_GT(jump, 0.0);
+  EXPECT_DOUBLE_EQ(node.logical_clock(5.0), 20.0);
+  EXPECT_TRUE(node.fast_mode());
+
+  // A smaller (stale) estimate must not pull the clock down.
+  node.on_message(1, 1.0, 6.0);
+  EXPECT_DOUBLE_EQ(node.step(6.0), 0.0);
+  EXPECT_DOUBLE_EQ(node.logical_clock(6.0), 21.0);
+}
+
+TEST(DcsaNode, CrippledToleranceBlocksJump) {
+  auto p = small_params(3);
+  // A tolerance with no G headroom: B(age) == b0 everywhere.
+  const gcs::core::BFunction crippled(p.effective_b0(), 0.0, p.tau(), p.rho);
+  gcs::core::DcsaNode node(p, crippled);
+  node.start(0, 0.0);
+  node.on_edge_up(1, 0.0);  // the neighbour far ahead
+  node.on_edge_up(2, 0.0);  // the laggard holding us back
+  const double b0 = p.effective_b0();
+
+  node.on_message(1, 100.0, 1.0);                // way ahead
+  node.on_message(2, -(b0 + 50.0), 1.0);         // way behind
+  EXPECT_TRUE(node.is_blocked_by(2, 1.0));
+  EXPECT_FALSE(node.is_blocked_by(1, 1.0));
+  // The cap (laggard's estimate + b0) sits below the current clock, so no
+  // jump happens at all and the node free-runs at its hardware rate.
+  EXPECT_DOUBLE_EQ(node.step(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(node.logical_clock(1.0), 1.0);
+}
+
+TEST(DcsaNode, ProperToleranceDoesNotBlockFreshSkew) {
+  auto p = small_params(3);
+  gcs::core::DcsaNode node(p);  // proper B: B(0) = b0 + G(n) > G(n)
+  node.start(0, 0.0);
+  node.on_edge_up(1, 0.0);
+  node.on_edge_up(2, 0.0);
+  // The laggard is behind by nearly the whole global bound -- legal for a
+  // fresh edge, and by Lemma 6.10 it must not block.
+  node.on_message(1, 10.0, 1.0);
+  node.on_message(2, -(p.global_skew_bound() - 10.0), 1.0);
+  EXPECT_FALSE(node.is_blocked_by(2, 1.0));
+  node.step(1.0);
+  EXPECT_DOUBLE_EQ(node.logical_clock(1.0), 10.0);
+}
+
+TEST(WeightedDcsaNode, TightLinkTightensOnlyTheFloor) {
+  auto p = small_params(3);
+  auto weight = [](gcs::core::NodeId, gcs::core::NodeId peer) {
+    return peer == 2 ? 0.5 : 1.0;
+  };
+  gcs::core::WeightedDcsaNode node(p, weight, 0.5);
+  node.start(0, 0.0);
+  node.on_edge_up(1, 0.0);
+  node.on_edge_up(2, 0.0);
+  const double b0 = p.effective_b0();
+
+  // Matured edges (age far past decay): the cap toward the tight peer 2
+  // is half the cap toward the default peer 1.
+  const double age = node.tolerance_fn().decay_age() + 100.0;
+  const double before = node.logical_clock(age);
+  node.on_message(1, before + 1000.0, age);  // strong pull upward
+  node.on_message(2, before, age);           // tight peer level with us
+  node.step(age);
+  // Overshoot over the tight peer is capped by the weighted floor w * b0.
+  EXPECT_NEAR(node.logical_clock(age) - before, 0.5 * b0, 1e-9);
+  EXPECT_TRUE(node.is_blocked_by(2, age));
+}
+
+// End-to-end: a two-camp network on a ring must keep the global skew
+// under G(n) and live-edge skews under the envelope, with zero
+// conformance failures from the simulator's own checker.
+TEST(NetworkSimulation, TwoCampRingStaysInsideBounds) {
+  const auto p = small_params(8);
+  std::vector<gcs::clk::RateSchedule> schedules;
+  for (std::size_t i = 0; i < p.n; ++i) {
+    schedules.emplace_back(i % 2 == 0 ? 1.0 + p.rho : 1.0 - p.rho);
+  }
+  gcs::core::NetworkSimulation sim(
+      p,
+      gcs::net::DynamicGraph(p.n, gcs::net::make_ring(p.n).edges(), {}),
+      gcs::net::make_constant_delay(p.T, p.T / 2.0), std::move(schedules),
+      [&p](gcs::core::NodeId) {
+        return std::make_unique<gcs::core::DcsaNode>(p);
+      });
+  sim.run_until(60.0);
+  EXPECT_GT(sim.stats().messages_delivered, 0u);
+  EXPECT_GT(sim.stats().jumps, 0u);
+  EXPECT_EQ(sim.stats().conformance_envelope_failures, 0u);
+  EXPECT_EQ(sim.stats().conformance_monotonicity_failures, 0u);
+  double lo = sim.logical_clock(0), hi = lo;
+  for (gcs::core::NodeId i = 1; i < p.n; ++i) {
+    lo = std::min(lo, sim.logical_clock(i));
+    hi = std::max(hi, sim.logical_clock(i));
+  }
+  EXPECT_LE(hi - lo, p.global_skew_bound());
+  EXPECT_GT(hi, 50.0);  // clocks actually advanced through the horizon
+}
+
+}  // namespace

@@ -1,0 +1,91 @@
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace {
+
+TEST(Engine, ExecutesInTimestampOrder) {
+  gcs::sim::Engine engine;
+  std::vector<int> order;
+  engine.at(3.0, [&] { order.push_back(3); });
+  engine.at(1.0, [&] { order.push_back(1); });
+  engine.at(2.0, [&] { order.push_back(2); });
+  engine.run_until(10.0);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(engine.events_executed(), 3u);
+  EXPECT_DOUBLE_EQ(engine.now(), 10.0);
+}
+
+TEST(Engine, SameTimestampEventsAreFifo) {
+  gcs::sim::Engine engine;
+  std::string trace;
+  for (char c : std::string("abcdef")) {
+    engine.at(1.0, [&trace, c] { trace.push_back(c); });
+  }
+  engine.run_until(1.0);
+  EXPECT_EQ(trace, "abcdef");
+}
+
+TEST(Engine, EventsScheduledDuringRunAreServiced) {
+  gcs::sim::Engine engine;
+  std::vector<int> order;
+  engine.at(1.0, [&] {
+    order.push_back(1);
+    engine.at(2.0, [&] { order.push_back(2); });
+    engine.at(1.0, [&] { order.push_back(11); });  // same-time re-entry
+  });
+  engine.at(3.0, [&] { order.push_back(3); });
+  engine.run_until(5.0);
+  EXPECT_EQ(order, (std::vector<int>{1, 11, 2, 3}));
+}
+
+TEST(Engine, RunUntilHorizonIsInclusiveAndResumable) {
+  gcs::sim::Engine engine;
+  int fired = 0;
+  engine.at(1.0, [&] { ++fired; });
+  engine.at(2.0, [&] { ++fired; });
+  engine.run_until(1.0);
+  EXPECT_EQ(fired, 1);
+  engine.run_until(2.0);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Engine, SchedulingInThePastClampsToNow) {
+  gcs::sim::Engine engine;
+  double fired_at = -1.0;
+  engine.at(5.0, [&] {
+    engine.at(1.0, [&] { fired_at = engine.now(); });
+  });
+  engine.run_until(10.0);
+  EXPECT_DOUBLE_EQ(fired_at, 5.0);
+}
+
+TEST(Engine, PeriodicCallbackFiresOnSchedule) {
+  gcs::sim::Engine engine;
+  std::vector<double> fire_times;
+  engine.every(1.0, 0.5, [&](gcs::sim::Time t) { fire_times.push_back(t); });
+  engine.run_until(3.0);
+  ASSERT_EQ(fire_times.size(), 5u);  // 1.0, 1.5, 2.0, 2.5, 3.0
+  EXPECT_DOUBLE_EQ(fire_times.front(), 1.0);
+  EXPECT_DOUBLE_EQ(fire_times.back(), 3.0);
+}
+
+TEST(Engine, DeterministicAcrossIdenticalRuns) {
+  auto run = [] {
+    gcs::sim::Engine engine;
+    std::vector<std::pair<double, int>> trace;
+    for (int i = 0; i < 100; ++i) {
+      engine.at(static_cast<double>(i % 7), [&trace, i, &engine] {
+        trace.emplace_back(engine.now(), i);
+      });
+    }
+    engine.run_until(100.0);
+    return trace;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace

@@ -1,0 +1,91 @@
+#include "harness/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/scenario.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+gcs::harness::ExperimentConfig small_config() {
+  gcs::harness::ExperimentConfig cfg;
+  cfg.name = "unit";
+  cfg.params.n = 8;
+  cfg.params.rho = 0.05;
+  cfg.params.T = 1.0;
+  cfg.params.D = 2.5;
+  cfg.params.delta_h = 0.5;
+  cfg.topology = "ring";
+  cfg.drift = "spread";
+  cfg.delay = "uniform";
+  cfg.horizon = 40.0;
+  cfg.sample_dt = 0.5;
+  cfg.seed = 9;
+  return cfg;
+}
+
+TEST(RunExperiment, StaticRingHasZeroViolations) {
+  const auto result = gcs::harness::run_experiment(small_config());
+  EXPECT_EQ(result.global_violations, 0u);
+  EXPECT_EQ(result.envelope_violations, 0u);
+  EXPECT_GT(result.samples, 0u);
+  EXPECT_GT(result.events_executed, 0u);
+  EXPECT_GT(result.run_stats.messages_delivered, 0u);
+  EXPECT_GT(result.max_global_skew, 0.0);  // drift does open real skew...
+  EXPECT_LE(result.max_global_skew, result.global_skew_bound);  // ...bounded
+  EXPECT_EQ(result.run_stats.messages_dropped, 0u);  // static graph
+}
+
+TEST(RunExperiment, ChurnScenarioHasZeroViolations) {
+  auto cfg = small_config();
+  cfg.params.n = 12;
+  cfg.drift = "walk";
+  cfg.horizon = 60.0;
+  gcs::util::Rng rng(5);
+  cfg.scenario =
+      gcs::net::make_churn_scenario(12, 6, 10.0, cfg.horizon, rng);
+  const auto result = gcs::harness::run_experiment(cfg);
+  EXPECT_EQ(result.global_violations, 0u);
+  EXPECT_EQ(result.envelope_violations, 0u);
+  EXPECT_GT(result.run_stats.topology_events_applied, 0u);
+  EXPECT_LE(result.max_global_skew, result.global_skew_bound);
+}
+
+TEST(RunExperiment, DeterministicPerSeed) {
+  const auto a = gcs::harness::run_experiment(small_config());
+  const auto b = gcs::harness::run_experiment(small_config());
+  EXPECT_EQ(a.max_global_skew, b.max_global_skew);
+  EXPECT_EQ(a.max_local_skew, b.max_local_skew);
+  EXPECT_EQ(a.events_executed, b.events_executed);
+  EXPECT_EQ(a.run_stats.messages_delivered, b.run_stats.messages_delivered);
+  EXPECT_EQ(a.run_stats.jumps, b.run_stats.jumps);
+
+  auto other = small_config();
+  other.seed = 10;  // different delays -> different skew trajectory
+  const auto c = gcs::harness::run_experiment(other);
+  EXPECT_NE(a.max_global_skew, c.max_global_skew);
+}
+
+TEST(RunExperiment, ConstantDelayStringParses) {
+  auto cfg = small_config();
+  cfg.delay = "constant:0.5";
+  const auto result = gcs::harness::run_experiment(cfg);
+  EXPECT_EQ(result.global_violations + result.envelope_violations, 0u);
+}
+
+TEST(RunExperiment, RejectsBadConfigs) {
+  auto cfg = small_config();
+  cfg.topology = "torus";
+  EXPECT_THROW(gcs::harness::run_experiment(cfg), std::invalid_argument);
+  cfg = small_config();
+  cfg.drift = "quadratic";
+  EXPECT_THROW(gcs::harness::run_experiment(cfg), std::invalid_argument);
+  cfg = small_config();
+  cfg.delay = "zipf";
+  EXPECT_THROW(gcs::harness::run_experiment(cfg), std::invalid_argument);
+  cfg = small_config();
+  cfg.params.n = 1;
+  EXPECT_THROW(gcs::harness::run_experiment(cfg), std::invalid_argument);
+}
+
+}  // namespace
