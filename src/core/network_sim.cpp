@@ -16,7 +16,8 @@ NetworkSimulation::NetworkSimulation(const SyncParams& params,
       bfunc_(params),
       delay_(std::move(delay)),
       options_(options),
-      rng_(options.seed) {
+      rng_(options.seed),
+      engine_(options.engine_policy) {
   const std::size_t n = graph.n();
   if (schedules.size() != n) {
     throw std::invalid_argument(
@@ -109,6 +110,7 @@ void NetworkSimulation::add_edge(const net::Edge& e, sim::Time t,
     // the new edge, so it carries an estimate within one delay bound.
     send(e.u, e.v, logical_clock(e.u), t);
     send(e.v, e.u, logical_clock(e.v), t);
+    flush_outbox();
   }
 }
 
@@ -134,6 +136,7 @@ void NetworkSimulation::broadcast(NodeId u) {
   const sim::Time t = engine_.now();
   const double value = nodes_[u]->logical_clock(clocks_[u].value_at(t));
   for (NodeId v : adjacency_[u]) send(u, v, value, t);
+  flush_outbox();
   next_broadcast_hw_[u] += params_.delta_h;
   schedule_broadcast(u);
 }
@@ -147,9 +150,51 @@ void NetworkSimulation::send(NodeId from, NodeId to, double value,
   double d = delay_.sample(e, rng_);
   d = std::clamp(d, 1e-12, delay_.bound);  // the model promises delay <= T
   ++stats_.messages_sent;
-  engine_.at(t + d, [this, from, to, value, incarnation] {
-    deliver(from, to, value, incarnation);
-  });
+  if (!options_.batched_delivery) {
+    ++stats_.delivery_events;
+    engine_.at(t + d, [this, from, to, value, incarnation] {
+      deliver(from, to, value, incarnation);
+    });
+    return;
+  }
+  // Stage for the flush; delays are sampled per receiver in send order
+  // either way, so the two modes draw identical randomness.
+  outbox_.emplace_back(t + d, Delivery{from, to, value, incarnation});
+}
+
+void NetworkSimulation::flush_outbox() {
+  if (outbox_.empty()) return;
+  // Group by exact delivery instant.  The sort is stable so same-instant
+  // messages keep their send order -- that, plus the fact that distinct
+  // instants are ordered by time regardless of seq, is what makes
+  // batched delivery trajectory-identical to per-receiver mode.
+  std::stable_sort(
+      outbox_.begin(), outbox_.end(),
+      [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (std::size_t i = 0; i < outbox_.size();) {
+    std::size_t j = i + 1;
+    while (j < outbox_.size() && outbox_[j].first == outbox_[i].first) ++j;
+    ++stats_.delivery_events;
+    if (j == i + 1) {
+      // Uncoalesced instant (the common case under continuous delay
+      // distributions): skip the batch vector, schedule the delivery
+      // directly -- same cost as per-receiver mode.
+      const Delivery d = outbox_[i].second;
+      engine_.at(outbox_[i].first,
+                 [this, d] { deliver(d.from, d.to, d.value, d.incarnation); });
+    } else {
+      std::vector<Delivery> batch;
+      batch.reserve(j - i);
+      for (std::size_t k = i; k < j; ++k) batch.push_back(outbox_[k].second);
+      engine_.at(outbox_[i].first, [this, batch = std::move(batch)] {
+        for (const Delivery& d : batch) {
+          deliver(d.from, d.to, d.value, d.incarnation);
+        }
+      });
+    }
+    i = j;
+  }
+  outbox_.clear();
 }
 
 void NetworkSimulation::deliver(NodeId from, NodeId to, double value,

@@ -20,6 +20,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "clk/clock.hpp"
@@ -37,12 +38,24 @@ struct SimOptions {
   bool check_conformance = true;
   std::uint64_t seed = 42;            // drives delay sampling
   double conformance_slack = 1e-6;    // float headroom on envelope checks
+  // Event-engine scheduler; kHeap is the A/B validation baseline.
+  sim::EnginePolicy engine_policy = sim::EnginePolicy::kCalendar;
+  // Coalesce messages that a single broadcast (or edge-up exchange)
+  // schedules for the same delivery instant into one engine event that
+  // fans out to its receivers in send order.  Trajectories are
+  // bit-identical to per-receiver delivery (the determinism tests prove
+  // it); only the engine event count changes -- by ~average degree on
+  // dense graphs under constant delay.
+  bool batched_delivery = true;
 };
 
 struct RunStats {
   std::uint64_t messages_sent = 0;
   std::uint64_t messages_delivered = 0;
   std::uint64_t messages_dropped = 0;  // edge vanished while in flight
+  // Engine events scheduled to carry deliveries; messages_sent -
+  // delivery_events is the number of coalesced-away events.
+  std::uint64_t delivery_events = 0;
   std::uint64_t jumps = 0;
   double total_jump = 0.0;
   std::uint64_t topology_events_applied = 0;
@@ -80,6 +93,9 @@ class NetworkSimulation {
 
   sim::Time now() const { return engine_.now(); }
   std::uint64_t events_executed() const { return engine_.events_executed(); }
+  // Audit hook: at() calls that asked for a time in the past.  A correct
+  // simulation never does; tests and the harness assert this stays zero.
+  std::uint64_t engine_clamped_count() const { return engine_.clamped_count(); }
   const RunStats& stats() const { return stats_; }
   const SyncParams& params() const { return params_; }
   const BFunction& bfunc() const { return bfunc_; }
@@ -91,13 +107,22 @@ class NetworkSimulation {
     sim::Time up_time = 0.0;
     std::uint64_t incarnation = 0;
   };
+  struct Delivery {
+    NodeId from;
+    NodeId to;
+    double value;
+    std::uint64_t incarnation;
+  };
 
   void apply_event(const net::TopologyEvent& ev);
   void add_edge(const net::Edge& e, sim::Time t, bool initial);
   void remove_edge(const net::Edge& e, sim::Time t);
   void schedule_broadcast(NodeId u);
   void broadcast(NodeId u);
+  // Stages (batched) or schedules (per-receiver) one message.  Batched
+  // callers must flush_outbox() before returning to the engine.
   void send(NodeId from, NodeId to, double value, sim::Time t);
+  void flush_outbox();
   void deliver(NodeId from, NodeId to, double value, std::uint64_t incarnation);
   void check_edge_conformance(const net::Edge& e);
 
@@ -115,6 +140,9 @@ class NetworkSimulation {
   std::uint64_t next_incarnation_ = 0;
   std::vector<double> next_broadcast_hw_;
   std::vector<double> last_logical_;  // monotonicity conformance
+  // Batched mode: messages staged by the current flush scope in send
+  // order; flush_outbox sort-groups them by exact delivery instant.
+  std::vector<std::pair<sim::Time, Delivery>> outbox_;
   RunStats stats_;
 };
 

@@ -71,6 +71,20 @@ net::DelayModel build_delay(const ExperimentConfig& cfg) {
                               "'");
 }
 
+sim::EnginePolicy parse_engine(const std::string& engine) {
+  if (engine == "calendar") return sim::EnginePolicy::kCalendar;
+  if (engine == "heap") return sim::EnginePolicy::kHeap;
+  throw std::invalid_argument("run_experiment: unknown engine '" + engine +
+                              "'");
+}
+
+bool parse_delivery(const std::string& delivery) {
+  if (delivery == "batched") return true;
+  if (delivery == "per-receiver") return false;
+  throw std::invalid_argument("run_experiment: unknown delivery '" + delivery +
+                              "'");
+}
+
 }  // namespace
 
 ExperimentResult run_experiment(const ExperimentConfig& cfg) {
@@ -88,6 +102,8 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
 
   core::SimOptions options = cfg.options;
   options.seed = cfg.seed;
+  options.engine_policy = parse_engine(cfg.engine);
+  options.batched_delivery = parse_delivery(cfg.delivery);
   core::NetworkSimulation sim(
       p, scenario.to_dynamic_graph(), build_delay(cfg), build_schedules(cfg),
       [&p](core::NodeId) { return std::make_unique<core::DcsaNode>(p); },
@@ -126,6 +142,7 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   sim.run_until(cfg.horizon);
 
   result.events_executed = sim.events_executed();
+  result.clamped_events = sim.engine_clamped_count();
   result.run_stats = sim.stats();
   // Fold in the simulator's own delivery-time envelope checks (same
   // property, denser check points).  Monotonicity failures are a

@@ -42,6 +42,18 @@ struct ExperimentConfig {
   // (exactly x, default T).
   std::string delay = "uniform";
 
+  // Event-engine scheduler: "calendar" (calendar queue, the scale path)
+  // or "heap" (binary-heap baseline).  Both produce bit-identical
+  // trajectories; heap exists for A/B validation.  Like `seed`, this
+  // overrides options.engine_policy -- set `engine`, not the SimOptions
+  // field, to vary a harness run.
+  std::string engine = "calendar";
+  // Message delivery: "batched" (same-instant messages of one broadcast
+  // share an engine event) or "per-receiver" (one event per message).
+  // Also trajectory-neutral; only event counts differ.  Overrides
+  // options.batched_delivery the same way.
+  std::string delivery = "batched";
+
   double horizon = 100.0;
   double sample_dt = 1.0;
   // Master seed for the run: drives drift walks AND the simulator's
@@ -64,7 +76,11 @@ struct ExperimentResult {
   std::uint64_t envelope_violations = 0;
   std::uint64_t samples = 0;
   std::uint64_t events_executed = 0;
-  core::RunStats run_stats;
+  // Engine at() calls that asked for a past time; a correct run has 0
+  // (the engine clamps them to now, and this counter keeps the clamp
+  // from hiding scheduling bugs).
+  std::uint64_t clamped_events = 0;
+  core::RunStats run_stats;  // includes delivery_events (batching audit)
 };
 
 ExperimentResult run_experiment(const ExperimentConfig& config);

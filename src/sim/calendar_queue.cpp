@@ -1,0 +1,155 @@
+#include "sim/calendar_queue.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+namespace gcs::sim {
+
+namespace {
+
+constexpr std::size_t kMinBuckets = 8;
+constexpr std::size_t kWidthSamples = 64;
+constexpr double kMinWidth = 1e-9;
+
+bool earlier(const ScheduledEvent& a, const ScheduledEvent& b) {
+  if (a.t != b.t) return a.t < b.t;
+  return a.seq < b.seq;
+}
+
+}  // namespace
+
+CalendarQueue::CalendarQueue() : buckets_(kMinBuckets) {}
+
+void CalendarQueue::push(ScheduledEvent ev) {
+  if (size_ + 1 > 2 * buckets_.size()) resize(2 * buckets_.size());
+  insert(std::move(ev));
+  ++size_;
+}
+
+void CalendarQueue::insert(ScheduledEvent ev) {
+  const double year = year_of(ev.t);
+  const std::size_t idx = bucket_index(year);
+  Bucket& b = buckets_[idx];
+  // Same-time events arrive in seq order and append in O(1); the search
+  // only pays when an event lands between already-pending times.
+  if (b.pending() == 0 || earlier(b.events.back(), ev)) {
+    b.events.push_back(std::move(ev));
+  } else {
+    auto it = std::upper_bound(b.events.begin() + b.head, b.events.end(), ev,
+                               earlier);
+    b.events.insert(it, std::move(ev));
+  }
+  // An event before the scan window would otherwise be skipped for a
+  // whole lap; point the scan at it (this is what makes the queue
+  // correct for non-monotone pushes).
+  if (size_ == 0 || year < year_) {
+    year_ = year;
+    current_bucket_ = idx;
+  }
+}
+
+CalendarQueue::Bucket* CalendarQueue::locate_min() {
+  // Walk the calendar: a bucket front counts only if it falls inside the
+  // bucket's current year window.  Events share a bucket only when their
+  // year slots are congruent mod nbuckets, so a front inside the window
+  // is the global minimum (equal times always share a bucket, hence ties
+  // cannot span buckets).
+  for (std::size_t scanned = 0; scanned < buckets_.size(); ++scanned) {
+    Bucket& b = buckets_[current_bucket_];
+    if (b.pending() > 0 && year_of(b.events[b.head].t) <= year_) return &b;
+    current_bucket_ = current_bucket_ + 1 == buckets_.size()
+                          ? 0
+                          : current_bucket_ + 1;
+    year_ += 1.0;
+  }
+  // A whole lap without a hit: the next event is more than nbuckets
+  // windows ahead.  Jump straight to the globally minimal bucket front.
+  const ScheduledEvent* best = nullptr;
+  std::size_t best_idx = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    const Bucket& b = buckets_[i];
+    if (b.pending() == 0) continue;
+    const ScheduledEvent& front = b.events[b.head];
+    if (best == nullptr || earlier(front, *best)) {
+      best = &front;
+      best_idx = i;
+    }
+  }
+  current_bucket_ = best_idx;
+  year_ = year_of(best->t);
+  return &buckets_[best_idx];
+}
+
+bool CalendarQueue::pop_if_leq(double horizon, ScheduledEvent* out) {
+  if (size_ == 0) return false;
+  Bucket& b = *locate_min();
+  if (b.events[b.head].t > horizon) return false;
+  *out = std::move(b.events[b.head]);
+  ++b.head;
+  if (b.head == b.events.size()) {
+    b.events.clear();
+    b.head = 0;
+  }
+  --size_;
+  if (size_ < buckets_.size() / 2 && buckets_.size() > kMinBuckets) {
+    resize(buckets_.size() / 2);
+  }
+  return true;
+}
+
+void CalendarQueue::resize(std::size_t new_bucket_count) {
+  std::vector<ScheduledEvent> all;
+  all.reserve(size_);
+  for (Bucket& b : buckets_) {
+    for (std::size_t i = b.head; i < b.events.size(); ++i) {
+      all.push_back(std::move(b.events[i]));
+    }
+  }
+  width_ = estimate_width(all);
+  inv_width_ = 1.0 / width_;
+  buckets_.assign(new_bucket_count, Bucket{});
+  // Re-anchor the scan at the global minimum so the no-pending-event-
+  // before-the-window invariant holds in the new geometry.
+  if (!all.empty()) {
+    double min_t = all.front().t;
+    for (const ScheduledEvent& ev : all) min_t = std::min(min_t, ev.t);
+    year_ = year_of(min_t);
+    current_bucket_ = bucket_index(year_);
+  } else {
+    year_ = 0.0;
+    current_bucket_ = 0;
+  }
+  for (ScheduledEvent& ev : all) insert(std::move(ev));
+  ++resizes_;
+}
+
+double CalendarQueue::estimate_width(
+    const std::vector<ScheduledEvent>& all) const {
+  if (all.size() < 2) return width_;
+  // Brown's rule: the width must match the event density where dequeues
+  // happen -- the head of the queue -- not the average over the whole
+  // horizon (a single far-future event would blow up a span/size
+  // estimate).  Take the K+1 smallest times and spread ~3 events per
+  // bucket across their span.
+  std::vector<double> times;
+  times.reserve(all.size());
+  for (const ScheduledEvent& ev : all) times.push_back(ev.t);
+  const std::size_t k = std::min<std::size_t>(kWidthSamples, times.size() - 1);
+  std::nth_element(times.begin(), times.begin() + k, times.end());
+  const double kth = times[k];
+  const double head_min = *std::min_element(times.begin(), times.begin() + k);
+  const double head_span = kth - head_min;
+  if (head_span > 0.0) {
+    return std::max(3.0 * head_span / static_cast<double>(k), kMinWidth);
+  }
+  // The head is one same-time burst (bursts share a bucket at any width);
+  // fall back to the full span so distinct time slots still spread out.
+  const auto [lo, hi] = std::minmax_element(times.begin(), times.end());
+  const double full_span = *hi - *lo;
+  if (full_span <= 0.0) return width_;  // everything equal: keep geometry
+  return std::max(3.0 * full_span / static_cast<double>(times.size() - 1),
+                  kMinWidth);
+}
+
+}  // namespace gcs::sim

@@ -6,9 +6,20 @@
 
 namespace gcs::sim {
 
+Engine::Engine(EnginePolicy policy) : policy_(policy) {}
+
 void Engine::at(Time t, std::function<void()> fn) {
-  heap_.push_back(Event{std::max(t, now_), next_seq_++, std::move(fn)});
-  std::push_heap(heap_.begin(), heap_.end(), Later{});
+  if (t < now_) {
+    ++clamped_;
+    t = now_;
+  }
+  ScheduledEvent ev{t, next_seq_++, std::move(fn)};
+  if (policy_ == EnginePolicy::kHeap) {
+    heap_.push_back(std::move(ev));
+    std::push_heap(heap_.begin(), heap_.end(), Later{});
+  } else {
+    calendar_.push(std::move(ev));
+  }
 }
 
 void Engine::every(Time first, Duration period, std::function<void(Time)> fn) {
@@ -38,13 +49,22 @@ void Engine::every(Time first, Duration period, std::function<void(Time)> fn) {
 }
 
 void Engine::run_until(Time horizon) {
-  while (!heap_.empty() && heap_.front().t <= horizon) {
-    std::pop_heap(heap_.begin(), heap_.end(), Later{});
-    Event ev = std::move(heap_.back());
-    heap_.pop_back();
-    now_ = std::max(now_, ev.t);
-    ++executed_;
-    ev.fn();
+  if (policy_ == EnginePolicy::kHeap) {
+    while (!heap_.empty() && heap_.front().t <= horizon) {
+      std::pop_heap(heap_.begin(), heap_.end(), Later{});
+      ScheduledEvent ev = std::move(heap_.back());
+      heap_.pop_back();
+      now_ = std::max(now_, ev.t);
+      ++executed_;
+      ev.fn();
+    }
+  } else {
+    ScheduledEvent ev;
+    while (calendar_.pop_if_leq(horizon, &ev)) {
+      now_ = std::max(now_, ev.t);
+      ++executed_;
+      ev.fn();
+    }
   }
   now_ = std::max(now_, horizon);
 }

@@ -6,6 +6,17 @@
 // runs with the same inputs must execute the same callbacks in the same
 // order, so events are ordered by (timestamp, insertion sequence) and ties
 // are FIFO.
+//
+// Two interchangeable schedulers sit behind the same API, selected at
+// construction:
+//
+//   * EnginePolicy::kCalendar (default) -- a calendar queue
+//     (calendar_queue.hpp): O(1) amortized enqueue/dequeue, sized and
+//     re-sized to the observed event spacing.  This is the scale path.
+//   * EnginePolicy::kHeap -- the original std::push_heap binary heap:
+//     O(log n) per operation, trivially correct.  Kept as the A/B
+//     validation baseline; the determinism tests prove both policies
+//     produce bit-identical trajectories.
 #ifndef GCS_SIM_ENGINE_HPP
 #define GCS_SIM_ENGINE_HPP
 
@@ -14,19 +25,26 @@
 #include <memory>
 #include <vector>
 
+#include "sim/calendar_queue.hpp"
+
 namespace gcs::sim {
 
 using Time = double;
 using Duration = double;
 
+enum class EnginePolicy { kCalendar, kHeap };
+
 class Engine {
  public:
-  Engine() = default;
+  explicit Engine(EnginePolicy policy = EnginePolicy::kCalendar);
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
   // Schedules `fn` at absolute time `t`.  Scheduling in the past (t <
-  // now()) clamps to now(): the event runs on the next run_until() pass.
+  // now()) clamps to now() -- the event runs on the next run_until() pass
+  // -- and increments clamped_count().  Well-formed callers never
+  // schedule in the past; tests and the harness assert the counter stays
+  // zero so the clamp cannot silently hide scheduling bugs.
   void at(Time t, std::function<void()> fn);
 
   // Self-rescheduling periodic callback: fires at `first`, `first +
@@ -42,28 +60,31 @@ class Engine {
 
   Time now() const { return now_; }
   std::uint64_t events_executed() const { return executed_; }
-  std::size_t pending() const { return heap_.size(); }
+  std::size_t pending() const {
+    return policy_ == EnginePolicy::kHeap ? heap_.size() : calendar_.size();
+  }
+  // Number of at() calls that asked for a time strictly before now().
+  std::uint64_t clamped_count() const { return clamped_; }
+  EnginePolicy policy() const { return policy_; }
 
  private:
-  struct Event {
-    Time t;
-    std::uint64_t seq;
-    std::function<void()> fn;
-  };
   struct Later {
-    bool operator()(const Event& a, const Event& b) const {
+    bool operator()(const ScheduledEvent& a, const ScheduledEvent& b) const {
       if (a.t != b.t) return a.t > b.t;
       return a.seq > b.seq;
     }
   };
 
-  std::vector<Event> heap_;  // binary min-heap via std::push_heap/pop_heap
+  EnginePolicy policy_;
+  std::vector<ScheduledEvent> heap_;  // kHeap: min-heap via std::push_heap
+  CalendarQueue calendar_;            // kCalendar
   // Owners of the self-rescheduling chains created by every(); scheduled
   // events only hold weak references into these.
   std::vector<std::shared_ptr<void>> periodic_chains_;
   Time now_ = 0.0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
+  std::uint64_t clamped_ = 0;
 };
 
 }  // namespace gcs::sim

@@ -1,0 +1,181 @@
+// The determinism contract across the engine/delivery matrix: the same
+// seed and parameters must produce BIT-IDENTICAL logical-clock and skew
+// trajectories whether events come from the binary heap or the calendar
+// queue, and whether deliveries are batched or per-receiver.  This is
+// what makes the calendar queue and batched delivery safe defaults: they
+// are pure performance changes, invisible to the physics.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/dcsa_node.hpp"
+#include "core/network_sim.hpp"
+#include "net/delay.hpp"
+#include "net/scenario.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using gcs::core::NetworkSimulation;
+using gcs::core::SimOptions;
+using gcs::core::SyncParams;
+using gcs::sim::EnginePolicy;
+
+SyncParams test_params(std::size_t n) {
+  SyncParams p;
+  p.n = n;
+  p.rho = 0.05;
+  p.T = 1.0;
+  p.D = 2.5;
+  p.delta_h = 0.5;
+  return p;
+}
+
+std::vector<gcs::clk::RateSchedule> walk_schedules(const SyncParams& p,
+                                                   std::uint64_t seed) {
+  std::vector<gcs::clk::RateSchedule> schedules;
+  for (std::size_t i = 0; i < p.n; ++i) {
+    schedules.push_back(gcs::clk::RateSchedule::random_walk(
+        p.rho, /*step_dt=*/1.0, /*sigma=*/p.rho / 4.0, seed * 7919 + i));
+  }
+  return schedules;
+}
+
+struct Trace {
+  std::vector<double> clocks;  // every node's logical clock, every sample
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_delivered = 0;
+  std::uint64_t messages_dropped = 0;
+  std::uint64_t delivery_events = 0;
+  std::uint64_t jumps = 0;
+  std::uint64_t clamped = 0;
+};
+
+Trace run(const gcs::net::Scenario& scenario, EnginePolicy policy,
+          bool batched, double horizon) {
+  const SyncParams p = test_params(scenario.n);
+  SimOptions options;
+  options.seed = 1234;
+  options.engine_policy = policy;
+  options.batched_delivery = batched;
+  NetworkSimulation sim(
+      p, scenario.to_dynamic_graph(), gcs::net::make_uniform_delay(p.T, 0.0, p.T),
+      walk_schedules(p, 99),
+      [&p](gcs::core::NodeId) { return std::make_unique<gcs::core::DcsaNode>(p); },
+      options);
+  Trace trace;
+  sim.schedule_periodic(0.25, 0.25, [&](gcs::sim::Time) {
+    for (std::size_t i = 0; i < sim.size(); ++i) {
+      trace.clocks.push_back(sim.logical_clock(static_cast<gcs::core::NodeId>(i)));
+    }
+  });
+  sim.run_until(horizon);
+  trace.messages_sent = sim.stats().messages_sent;
+  trace.messages_delivered = sim.stats().messages_delivered;
+  trace.messages_dropped = sim.stats().messages_dropped;
+  trace.delivery_events = sim.stats().delivery_events;
+  trace.jumps = sim.stats().jumps;
+  trace.clamped = sim.engine_clamped_count();
+  return trace;
+}
+
+// Runs the full 2x2 {engine} x {delivery} matrix on a scenario and
+// checks every observable against the baseline, bit for bit.
+void expect_identical_across_modes(const gcs::net::Scenario& scenario,
+                                   double horizon) {
+  const Trace base = run(scenario, EnginePolicy::kHeap, false, horizon);
+  ASSERT_FALSE(base.clocks.empty());
+  EXPECT_GT(base.messages_delivered, 0u);
+  EXPECT_EQ(base.clamped, 0u);
+  const struct {
+    EnginePolicy policy;
+    bool batched;
+    const char* name;
+  } modes[] = {
+      {EnginePolicy::kHeap, true, "heap/batched"},
+      {EnginePolicy::kCalendar, false, "calendar/per-receiver"},
+      {EnginePolicy::kCalendar, true, "calendar/batched"},
+  };
+  for (const auto& mode : modes) {
+    const Trace got = run(scenario, mode.policy, mode.batched, horizon);
+    // EXPECT_EQ on the double vector: exact equality, not approximate --
+    // the trajectories must be the same floating-point numbers.
+    EXPECT_EQ(base.clocks, got.clocks) << scenario.name << " " << mode.name;
+    EXPECT_EQ(base.messages_sent, got.messages_sent) << mode.name;
+    EXPECT_EQ(base.messages_delivered, got.messages_delivered) << mode.name;
+    EXPECT_EQ(base.messages_dropped, got.messages_dropped) << mode.name;
+    EXPECT_EQ(base.jumps, got.jumps) << mode.name;
+    EXPECT_EQ(got.clamped, 0u) << mode.name;
+    // Batching must only ever reduce the delivery event count.
+    if (mode.batched) {
+      EXPECT_LE(got.delivery_events, base.delivery_events) << mode.name;
+    } else {
+      EXPECT_EQ(got.delivery_events, base.delivery_events) << mode.name;
+    }
+  }
+}
+
+TEST(DeterminismMatrix, ChurnScenario) {
+  gcs::util::Rng rng(7);
+  expect_identical_across_modes(
+      gcs::net::make_churn_scenario(12, 6, 8.0, 40.0, rng), 40.0);
+}
+
+TEST(DeterminismMatrix, SwitchingStarScenario) {
+  expect_identical_across_modes(
+      gcs::net::make_switching_star_scenario(10, 5.0, 1.0, 40.0), 40.0);
+}
+
+TEST(DeterminismMatrix, MobilityScenario) {
+  gcs::util::Rng rng(21);
+  expect_identical_across_modes(
+      gcs::net::make_mobility_scenario(10, 0.35, 0.01, 0.05, 1.0, 40.0,
+                                       /*backbone=*/true, rng),
+      40.0);
+}
+
+// Dense static graph under constant delay: the regime where batching
+// actually coalesces (every broadcast's fan-out shares one instant), so
+// prove both the trajectory equality AND that the event count drops by
+// ~average degree.
+TEST(DeterminismMatrix, CompleteGraphBatchingCoalesces) {
+  const std::size_t n = 16;
+  const SyncParams p = test_params(n);
+  auto run_complete = [&](EnginePolicy policy, bool batched) {
+    SimOptions options;
+    options.seed = 5;
+    options.engine_policy = policy;
+    options.batched_delivery = batched;
+    options.check_conformance = false;
+    NetworkSimulation sim(
+        p,
+        gcs::net::DynamicGraph(n, gcs::net::make_complete(n).edges(), {}),
+        gcs::net::make_constant_delay(p.T, p.T / 2.0), walk_schedules(p, 3),
+        [&p](gcs::core::NodeId) {
+          return std::make_unique<gcs::core::DcsaNode>(p);
+        },
+        options);
+    sim.run_until(30.0);
+    std::vector<double> clocks;
+    for (std::size_t i = 0; i < n; ++i) {
+      clocks.push_back(sim.logical_clock(static_cast<gcs::core::NodeId>(i)));
+    }
+    return std::make_pair(clocks, sim.stats());
+  };
+  const auto [clocks_unbatched, stats_unbatched] =
+      run_complete(EnginePolicy::kHeap, false);
+  const auto [clocks_batched, stats_batched] =
+      run_complete(EnginePolicy::kCalendar, true);
+  EXPECT_EQ(clocks_unbatched, clocks_batched);
+  EXPECT_EQ(stats_unbatched.messages_delivered, stats_batched.messages_delivered);
+  // Every broadcast fans out to n-1 receivers at one instant: batched
+  // mode needs one event per broadcast, not n-1.
+  EXPECT_EQ(stats_unbatched.delivery_events, stats_unbatched.messages_sent);
+  EXPECT_LE(stats_batched.delivery_events * (n - 2),
+            stats_batched.messages_sent);
+}
+
+}  // namespace

@@ -1,14 +1,36 @@
+// Engine tests run against BOTH scheduler policies: the binary heap and
+// the calendar queue must be observably identical (same callbacks, same
+// order, same counters) -- that equivalence is what lets the simulator
+// default to the calendar path.
 #include "sim/engine.hpp"
 
 #include <gtest/gtest.h>
 
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace {
 
-TEST(Engine, ExecutesInTimestampOrder) {
-  gcs::sim::Engine engine;
+using gcs::sim::Engine;
+using gcs::sim::EnginePolicy;
+
+class EngineTest : public ::testing::TestWithParam<EnginePolicy> {
+ protected:
+  Engine make_engine() const { return Engine(GetParam()); }
+};
+
+INSTANTIATE_TEST_SUITE_P(BothPolicies, EngineTest,
+                         ::testing::Values(EnginePolicy::kHeap,
+                                           EnginePolicy::kCalendar),
+                         [](const auto& info) {
+                           return info.param == EnginePolicy::kHeap
+                                      ? "Heap"
+                                      : "Calendar";
+                         });
+
+TEST_P(EngineTest, ExecutesInTimestampOrder) {
+  Engine engine = make_engine();
   std::vector<int> order;
   engine.at(3.0, [&] { order.push_back(3); });
   engine.at(1.0, [&] { order.push_back(1); });
@@ -19,8 +41,8 @@ TEST(Engine, ExecutesInTimestampOrder) {
   EXPECT_DOUBLE_EQ(engine.now(), 10.0);
 }
 
-TEST(Engine, SameTimestampEventsAreFifo) {
-  gcs::sim::Engine engine;
+TEST_P(EngineTest, SameTimestampEventsAreFifo) {
+  Engine engine = make_engine();
   std::string trace;
   for (char c : std::string("abcdef")) {
     engine.at(1.0, [&trace, c] { trace.push_back(c); });
@@ -29,8 +51,8 @@ TEST(Engine, SameTimestampEventsAreFifo) {
   EXPECT_EQ(trace, "abcdef");
 }
 
-TEST(Engine, EventsScheduledDuringRunAreServiced) {
-  gcs::sim::Engine engine;
+TEST_P(EngineTest, EventsScheduledDuringRunAreServiced) {
+  Engine engine = make_engine();
   std::vector<int> order;
   engine.at(1.0, [&] {
     order.push_back(1);
@@ -42,8 +64,8 @@ TEST(Engine, EventsScheduledDuringRunAreServiced) {
   EXPECT_EQ(order, (std::vector<int>{1, 11, 2, 3}));
 }
 
-TEST(Engine, RunUntilHorizonIsInclusiveAndResumable) {
-  gcs::sim::Engine engine;
+TEST_P(EngineTest, RunUntilHorizonIsInclusiveAndResumable) {
+  Engine engine = make_engine();
   int fired = 0;
   engine.at(1.0, [&] { ++fired; });
   engine.at(2.0, [&] { ++fired; });
@@ -53,18 +75,28 @@ TEST(Engine, RunUntilHorizonIsInclusiveAndResumable) {
   EXPECT_EQ(fired, 2);
 }
 
-TEST(Engine, SchedulingInThePastClampsToNow) {
-  gcs::sim::Engine engine;
+TEST_P(EngineTest, SchedulingInThePastClampsToNowAndCountsIt) {
+  Engine engine = make_engine();
   double fired_at = -1.0;
   engine.at(5.0, [&] {
     engine.at(1.0, [&] { fired_at = engine.now(); });
   });
   engine.run_until(10.0);
   EXPECT_DOUBLE_EQ(fired_at, 5.0);
+  // The clamp must not be silent: exactly one at() asked for the past.
+  EXPECT_EQ(engine.clamped_count(), 1u);
 }
 
-TEST(Engine, PeriodicCallbackFiresOnSchedule) {
-  gcs::sim::Engine engine;
+TEST_P(EngineTest, WellFormedSchedulesNeverClamp) {
+  Engine engine = make_engine();
+  engine.every(0.5, 0.25, [](gcs::sim::Time) {});
+  engine.at(1.0, [&] { engine.at(engine.now(), [] {}); });  // t == now is fine
+  engine.run_until(20.0);
+  EXPECT_EQ(engine.clamped_count(), 0u);
+}
+
+TEST_P(EngineTest, PeriodicCallbackFiresOnSchedule) {
+  Engine engine = make_engine();
   std::vector<double> fire_times;
   engine.every(1.0, 0.5, [&](gcs::sim::Time t) { fire_times.push_back(t); });
   engine.run_until(3.0);
@@ -73,9 +105,9 @@ TEST(Engine, PeriodicCallbackFiresOnSchedule) {
   EXPECT_DOUBLE_EQ(fire_times.back(), 3.0);
 }
 
-TEST(Engine, DeterministicAcrossIdenticalRuns) {
-  auto run = [] {
-    gcs::sim::Engine engine;
+TEST_P(EngineTest, DeterministicAcrossIdenticalRuns) {
+  auto run = [this] {
+    Engine engine = make_engine();
     std::vector<std::pair<double, int>> trace;
     for (int i = 0; i < 100; ++i) {
       engine.at(static_cast<double>(i % 7), [&trace, i, &engine] {
@@ -86,6 +118,42 @@ TEST(Engine, DeterministicAcrossIdenticalRuns) {
     return trace;
   };
   EXPECT_EQ(run(), run());
+}
+
+TEST_P(EngineTest, PendingAccountingThroughPartialRuns) {
+  Engine engine = make_engine();
+  // Enough load to force the calendar through several resizes.
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    engine.at(static_cast<double>(i % 100) + 0.5, [] {});
+  }
+  EXPECT_EQ(engine.pending(), static_cast<std::size_t>(n));
+  engine.run_until(49.5);  // drains slots 0.5 .. 49.5 = half the events
+  EXPECT_EQ(engine.pending(), static_cast<std::size_t>(n) / 2);
+  EXPECT_EQ(engine.events_executed(), static_cast<std::uint64_t>(n) / 2);
+  engine.run_until(1000.0);
+  EXPECT_EQ(engine.pending(), 0u);
+  EXPECT_EQ(engine.events_executed(), static_cast<std::uint64_t>(n));
+}
+
+TEST_P(EngineTest, MillionEventSmoke) {
+  Engine engine = make_engine();
+  const std::uint64_t n = 1000000;
+  std::uint64_t fired = 0;
+  // Mixed same-time bursts and spread times, plus each event chaining
+  // one follow-up, so the queue sees growth, churn, and drain phases.
+  for (std::uint64_t i = 0; i < n / 2; ++i) {
+    const double t = static_cast<double>(i % 1009) * 0.25;
+    engine.at(t, [&fired, &engine] {
+      ++fired;
+      engine.at(engine.now() + 0.125, [&fired] { ++fired; });
+    });
+  }
+  engine.run_until(1e9);
+  EXPECT_EQ(fired, n);
+  EXPECT_EQ(engine.events_executed(), n);
+  EXPECT_EQ(engine.pending(), 0u);
+  EXPECT_EQ(engine.clamped_count(), 0u);
 }
 
 }  // namespace

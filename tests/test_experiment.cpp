@@ -86,6 +86,53 @@ TEST(RunExperiment, RejectsBadConfigs) {
   cfg = small_config();
   cfg.params.n = 1;
   EXPECT_THROW(gcs::harness::run_experiment(cfg), std::invalid_argument);
+  cfg = small_config();
+  cfg.engine = "wheel";
+  EXPECT_THROW(gcs::harness::run_experiment(cfg), std::invalid_argument);
+  cfg = small_config();
+  cfg.delivery = "multicast";
+  EXPECT_THROW(gcs::harness::run_experiment(cfg), std::invalid_argument);
+}
+
+TEST(RunExperiment, EngineAndDeliveryKnobsAreTrajectoryNeutral) {
+  // The harness-level restatement of the determinism contract: every
+  // engine/delivery combination reports the same measured physics.
+  const auto base = gcs::harness::run_experiment(small_config());
+  EXPECT_EQ(base.clamped_events, 0u);
+  for (const char* engine : {"calendar", "heap"}) {
+    for (const char* delivery : {"batched", "per-receiver"}) {
+      auto cfg = small_config();
+      cfg.engine = engine;
+      cfg.delivery = delivery;
+      const auto result = gcs::harness::run_experiment(cfg);
+      EXPECT_EQ(result.max_global_skew, base.max_global_skew)
+          << engine << "/" << delivery;
+      EXPECT_EQ(result.max_local_skew, base.max_local_skew)
+          << engine << "/" << delivery;
+      EXPECT_EQ(result.run_stats.messages_delivered,
+                base.run_stats.messages_delivered)
+          << engine << "/" << delivery;
+      EXPECT_EQ(result.run_stats.jumps, base.run_stats.jumps)
+          << engine << "/" << delivery;
+      EXPECT_EQ(result.clamped_events, 0u) << engine << "/" << delivery;
+    }
+  }
+}
+
+TEST(RunExperiment, ReportsDeliveryEventStats) {
+  auto cfg = small_config();
+  cfg.topology = "complete";
+  cfg.delay = "constant:0.5";
+  const auto batched = gcs::harness::run_experiment(cfg);
+  cfg.delivery = "per-receiver";
+  const auto unbatched = gcs::harness::run_experiment(cfg);
+  // Per-receiver: one engine event per message.  Batched on a complete
+  // graph under constant delay: one event per broadcast fan-out.
+  EXPECT_EQ(unbatched.run_stats.delivery_events,
+            unbatched.run_stats.messages_sent);
+  EXPECT_LT(batched.run_stats.delivery_events,
+            batched.run_stats.messages_sent / 2);
+  EXPECT_LT(batched.events_executed, unbatched.events_executed);
 }
 
 }  // namespace
