@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Perf-smoke gate: compare calendar-vs-heap Hold ratios against a baseline.
+
+Usage:
+    perf_compare.py BENCH_baseline.json bench_current.json
+        [--tolerance 2.0] [--min-pending 10000]
+
+Both files are ``bench_engine_perf --benchmark_format=json`` output.  The
+gate looks only at ``BM_EventQueue_Hold/<pending>/<policy>/<slotted>``
+(policy 0 = heap, 1 = calendar) and, for every (pending, slotted) shape
+with pending >= --min-pending present in BOTH files, computes
+
+    ratio = heap cpu_time / calendar cpu_time
+
+i.e. "how many times faster is the calendar queue".  The current run must
+keep at least 1/--tolerance of the baseline ratio; with the default 2.0 a
+>2x regression of the speedup fails, anything milder passes.
+
+Ratios, not absolute times, make this machine-portable: CI runners and dev
+laptops differ wildly in clock speed, but heap and calendar are measured
+in the same process seconds apart, so their quotient is comparable across
+machines.  Remaining noise sources (turbo, co-tenancy) move both policies
+together and largely cancel.  If a benchmark was run with repetitions the
+median aggregate is preferred over the raw iterations.
+
+Exit codes: 0 pass, 1 regression, 2 unusable input (missing shapes --
+a renamed benchmark must fail loudly, not skip the gate).
+"""
+
+import argparse
+import json
+import sys
+
+HOLD_PREFIX = "BM_EventQueue_Hold/"
+
+
+def load_hold_times(path):
+    """name -> cpu_time for Hold benchmarks, preferring median aggregates."""
+    with open(path) as f:
+        doc = json.load(f)
+    times = {}
+    have_aggregate = set()
+    for bench in doc.get("benchmarks", []):
+        name = bench.get("name", "")
+        base = bench.get("run_name", name)
+        if not base.startswith(HOLD_PREFIX):
+            continue
+        run_type = bench.get("run_type", "iteration")
+        if run_type == "aggregate":
+            if bench.get("aggregate_name") != "median":
+                continue
+            times[base] = bench["cpu_time"]
+            have_aggregate.add(base)
+        elif base not in have_aggregate:
+            times[base] = bench["cpu_time"]
+    return times
+
+
+def hold_ratios(times, min_pending):
+    """(pending, slotted) -> heap_time / calendar_time."""
+    ratios = {}
+    for name, heap_time in times.items():
+        fields = name[len(HOLD_PREFIX):].split("/")
+        if len(fields) != 3 or fields[1] != "0":
+            continue
+        pending, slotted = int(fields[0]), fields[2]
+        if pending < min_pending:
+            continue
+        calendar = times.get(f"{HOLD_PREFIX}{pending}/1/{slotted}")
+        if calendar is None or calendar <= 0:
+            continue
+        ratios[(pending, "slotted" if slotted == "1" else "continuous")] = (
+            heap_time / calendar
+        )
+    return ratios
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--tolerance", type=float, default=2.0,
+                        help="max allowed shrink factor of the ratio (default 2.0)")
+    parser.add_argument("--min-pending", type=int, default=10000,
+                        help="ignore Hold shapes below this population (default 10000)")
+    args = parser.parse_args()
+
+    baseline = hold_ratios(load_hold_times(args.baseline), args.min_pending)
+    current = hold_ratios(load_hold_times(args.current), args.min_pending)
+    shared = sorted(set(baseline) & set(current))
+    if not shared:
+        print("perf_compare: no comparable BM_EventQueue_Hold shapes with "
+              f"pending >= {args.min_pending} in both files -- "
+              "was the benchmark renamed or the filter wrong?", file=sys.stderr)
+        return 2
+
+    failures = 0
+    print(f"{'shape':<24} {'baseline':>9} {'current':>9} {'floor':>9}  verdict")
+    for key in shared:
+        base_ratio = baseline[key]
+        cur_ratio = current[key]
+        floor = base_ratio / args.tolerance
+        ok = cur_ratio >= floor
+        failures += 0 if ok else 1
+        shape = f"pending={key[0]}/{key[1]}"
+        print(f"{shape:<24} {base_ratio:>8.2f}x {cur_ratio:>8.2f}x "
+              f"{floor:>8.2f}x  {'ok' if ok else 'REGRESSION'}")
+
+    if failures:
+        print(f"\nperf_compare: {failures}/{len(shared)} shape(s) lost more "
+              f"than {args.tolerance}x of their calendar-vs-heap speedup",
+              file=sys.stderr)
+        return 1
+    print(f"\nperf_compare: all {len(shared)} shape(s) within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,99 @@
+// gcs::cli -- declarative experiment campaigns.
+//
+// A campaign turns "what to measure" into a list of fully resolved
+// harness::ExperimentConfig cells.  The input is either a JSON document
+//
+//   {
+//     "name": "churn-sweep",
+//     "defaults": { "rho": 0.05, "T": 1.0, "D": 2.5, "horizon": 60 },
+//     "sweep": {
+//       "n": [8, 16, 32],
+//       "scenario": [ {"kind": "churn", "lifetime": 5},
+//                     {"kind": "churn", "lifetime": 20} ],
+//       "drift": ["spread", "two-camp"],
+//       "seeds": {"base": 1, "count": 3}
+//     }
+//   }
+//
+// or --key=value command-line overrides (comma lists and "a..b" integer
+// ranges become sweep axes), or both -- an override pins or re-sweeps one
+// axis of a file campaign.  The cells are the cross-product of every axis,
+// expanded in a fixed canonical order so cell labels and file names are
+// stable across runs and machines.
+//
+// Validation is strict throughout: unknown keys, conflicting workload axes
+// (both `topology` and `scenario`), or type mismatches throw
+// std::invalid_argument / util::json::Error instead of running a sweep
+// that silently ignores a typo -- CI gates on these exit codes.
+#ifndef GCS_CLI_CAMPAIGN_HPP
+#define GCS_CLI_CAMPAIGN_HPP
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hpp"
+#include "net/scenario.hpp"
+#include "util/json.hpp"
+
+namespace gcs::cli {
+
+// A dynamic-workload generator spec: the declarative face of
+// net::make_*_scenario.  Unlike a baked net::Scenario, a spec is
+// re-instantiated per cell, so one spec sweeps cleanly across n, horizon,
+// and seed.  An empty kind means "static topology from config.topology".
+struct ScenarioSpec {
+  std::string kind;  // "" | "churn" | "switching-star" | "mobility"
+  // churn
+  std::size_t volatile_edges = 6;
+  double lifetime = 10.0;
+  // switching-star
+  double period = 10.0;
+  double overlap = 1.0;
+  // mobility
+  double radius = 0.35;
+  double speed_min = 0.01;
+  double speed_max = 0.05;
+  double update_dt = 1.0;
+  bool backbone = true;
+
+  bool is_static() const { return kind.empty(); }
+
+  // Only the knobs of the selected kind are serialized.
+  util::json::Value to_json() const;
+  static ScenarioSpec from_json(const util::json::Value& doc);
+  // Compact flag syntax: "churn:lifetime=5:volatile_edges=4".
+  static ScenarioSpec from_flag(const std::string& spec);
+
+  // Instantiates the generator.  The scenario's randomness is derived
+  // deterministically from the cell seed (splitmix-style), so the same
+  // cell always sees the same adversary.
+  net::Scenario build(std::size_t n, double horizon, std::uint64_t seed) const;
+};
+
+struct Cell {
+  harness::ExperimentConfig config;  // scenario field left unset
+  ScenarioSpec scenario;
+  std::string label;  // unique within the campaign, filesystem-safe
+};
+
+struct Campaign {
+  std::string name = "campaign";
+  std::vector<Cell> cells;
+};
+
+// Expands a campaign document plus --key=value overrides into cells.
+// `doc` may be null (flags-only mode).  An override whose value contains a
+// comma list or an "a..b" integer range replaces that axis; a scalar
+// override pins the axis to one value even if the file sweeps it.
+Campaign build_campaign(const util::json::Value* doc,
+                        const std::map<std::string, std::string>& overrides);
+
+// Instantiates one cell into a runnable config (resolves the scenario spec
+// against the cell's n / horizon / seed).
+harness::ExperimentConfig instantiate(const Cell& cell);
+
+}  // namespace gcs::cli
+
+#endif  // GCS_CLI_CAMPAIGN_HPP

@@ -1,0 +1,251 @@
+#include "cli/runner.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "harness/serialize.hpp"
+#include "util/json.hpp"
+
+namespace gcs::cli {
+
+namespace json = gcs::util::json;
+namespace fs = std::filesystem;
+
+const char kCsvHeader[] =
+    "campaign,cell,n,workload,drift,delay,engine,delivery,seed,horizon,"
+    "sample_dt,samples,max_global_skew,global_skew_bound,global_margin,"
+    "max_local_skew,local_skew_floor,global_violations,envelope_violations,"
+    "monotonicity_failures,messages_sent,messages_delivered,messages_dropped,"
+    "delivery_events,events_executed,clamped_events,wall_ms,events_per_sec";
+
+namespace {
+
+std::string read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot read " + path.string());
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+void write_file(const fs::path& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << content;
+  if (!out) throw std::runtime_error("cannot write " + path.string());
+}
+
+// The full record of one executed cell; cells/<label>.json holds exactly
+// this, campaign.jsonl holds one compact line of it per cell.
+json::Value cell_document(const Campaign& campaign, const Cell& cell,
+                          const harness::ExperimentResult& result,
+                          double wall_ms, double events_per_sec) {
+  json::Value doc;
+  doc["schema_version"] = harness::kResultSchemaVersion;
+  doc["campaign"] = campaign.name;
+  doc["cell"] = cell.label;
+  // The scenario spec sits NEXT TO the config echo, not inside it: the
+  // strict config reader rejects unknown keys, and re-running a cell is
+  // config_from_json(doc["config"]) + ScenarioSpec::from_json(doc["scenario"]).
+  doc["config"] = harness::config_to_json(cell.config);
+  if (!cell.scenario.is_static()) {
+    doc["scenario"] = cell.scenario.to_json();
+  }
+  doc["result"] = harness::to_json(result);
+  doc["wall_ms"] = wall_ms;
+  doc["events_per_sec"] = events_per_sec;
+  return doc;
+}
+
+std::string csv_row(const Campaign& campaign, const Cell& cell,
+                    const harness::ExperimentResult& result, double wall_ms,
+                    double events_per_sec) {
+  const core::RunStats& stats = result.run_stats;
+  const std::string workload =
+      cell.scenario.is_static() ? cell.config.topology : cell.scenario.kind;
+  std::ostringstream row;
+  auto num = [](double v) { return json::dump_number(v); };
+  row << campaign.name << ',' << cell.label << ',' << cell.config.params.n
+      << ',' << workload << ',' << cell.config.drift << ','
+      << cell.config.delay << ',' << cell.config.engine << ','
+      << cell.config.delivery << ',' << cell.config.seed << ','
+      << num(cell.config.horizon) << ',' << num(cell.config.sample_dt) << ','
+      << result.samples << ',' << num(result.max_global_skew) << ','
+      << num(result.global_skew_bound) << ','
+      << num(result.global_skew_bound - result.max_global_skew) << ','
+      << num(result.max_local_skew) << ',' << num(result.local_skew_floor)
+      << ',' << result.global_violations << ',' << result.envelope_violations
+      << ',' << stats.conformance_monotonicity_failures << ','
+      << stats.messages_sent << ',' << stats.messages_delivered << ','
+      << stats.messages_dropped << ',' << stats.delivery_events << ','
+      << result.events_executed << ',' << result.clamped_events << ','
+      << num(wall_ms) << ',' << num(events_per_sec);
+  return row.str();
+}
+
+// The --check audit.  The schema round-trip reads the cell file back off
+// disk, so it gates the artifact CI uploads, not an in-memory copy.
+std::vector<std::string> audit_cell(const harness::ExperimentResult& result,
+                                    const fs::path& cell_path) {
+  std::vector<std::string> failures;
+  if (result.global_violations > 0) {
+    failures.push_back("global skew bound violated " +
+                       std::to_string(result.global_violations) + " time(s)");
+  }
+  if (result.envelope_violations > 0) {
+    failures.push_back("B envelope violated " +
+                       std::to_string(result.envelope_violations) + " time(s)");
+  }
+  if (result.run_stats.conformance_monotonicity_failures > 0) {
+    failures.push_back(
+        "logical clock ran backwards " +
+        std::to_string(result.run_stats.conformance_monotonicity_failures) +
+        " time(s)");
+  }
+  if (result.clamped_events > 0) {
+    failures.push_back(
+        "engine clamped " + std::to_string(result.clamped_events) +
+        " past-time event(s); first asked for t=" +
+        json::dump_number(result.run_stats.first_clamped_time) +
+        " as seq=" + std::to_string(result.run_stats.first_clamped_seq));
+  }
+  try {
+    const json::Value reread = json::parse(read_file(cell_path));
+    const harness::ExperimentResult decoded =
+        harness::result_from_json(reread.at("result"));
+    if (json::dump(harness::to_json(decoded)) !=
+        json::dump(reread.at("result"))) {
+      failures.push_back("schema drift: result does not round-trip");
+    }
+    // The config echo must be re-runnable too (the scenario spec lives
+    // next to it, so both readers get exactly the shape they expect).
+    harness::ExperimentConfig echoed =
+        harness::config_from_json(reread.at("config"));
+    (void)echoed;
+    if (const json::Value* spec = reread.find("scenario")) {
+      (void)ScenarioSpec::from_json(*spec);
+    }
+  } catch (const std::exception& e) {
+    failures.push_back(std::string("schema drift: ") + e.what());
+  }
+  return failures;
+}
+
+}  // namespace
+
+int run_campaign(const Campaign& campaign, const RunnerOptions& options,
+                 std::ostream& log, CampaignOutcome* outcome) {
+  if (options.list_only) {
+    for (const Cell& cell : campaign.cells) {
+      json::Value doc;
+      doc["config"] = harness::config_to_json(cell.config);
+      if (!cell.scenario.is_static()) {
+        doc["scenario"] = cell.scenario.to_json();
+      }
+      log << cell.label << " " << json::dump(doc) << "\n";
+    }
+    log << campaign.cells.size() << " cell(s)\n";
+    return 0;
+  }
+
+  const fs::path out_dir = options.out_dir.empty()
+                               ? fs::path("results") / campaign.name
+                               : fs::path(options.out_dir);
+  fs::create_directories(out_dir / "cells");
+
+  CampaignOutcome local;
+  CampaignOutcome& out = outcome ? *outcome : local;
+  out.out_dir = out_dir.string();
+
+  std::string csv = std::string(kCsvHeader) + "\n";
+  std::string jsonl;
+  double max_global = 0.0;
+  double max_local = 0.0;
+  double total_wall_ms = 0.0;
+  std::uint64_t total_events = 0;
+
+  for (std::size_t i = 0; i < campaign.cells.size(); ++i) {
+    const Cell& cell = campaign.cells[i];
+    CellOutcome cell_out;
+    cell_out.label = cell.label;
+    bool ran = false;
+
+    // A throwing cell (bad axis value, n < 2, ...) is recorded and the
+    // campaign keeps going: a red run must still leave a complete results
+    // tree for CI to upload.
+    const auto start = std::chrono::steady_clock::now();
+    try {
+      cell_out.result = harness::run_experiment(instantiate(cell));
+      ran = true;
+    } catch (const std::exception& e) {
+      cell_out.failures.push_back(std::string("failed to run: ") + e.what());
+      ++out.errored_cells;
+    }
+    cell_out.wall_ms = std::chrono::duration<double, std::milli>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+
+    if (ran) {
+      const harness::ExperimentResult& result = cell_out.result;
+      const double events_per_sec =
+          static_cast<double>(result.events_executed) /
+          std::max(cell_out.wall_ms, 1e-3) * 1e3;
+      const json::Value doc = cell_document(campaign, cell, result,
+                                            cell_out.wall_ms, events_per_sec);
+      const fs::path cell_path = out_dir / "cells" / (cell.label + ".json");
+      write_file(cell_path, json::dump(doc, 2) + "\n");
+      csv += csv_row(campaign, cell, result, cell_out.wall_ms,
+                     events_per_sec) +
+             "\n";
+      jsonl += json::dump(doc) + "\n";
+      cell_out.failures = audit_cell(result, cell_path);
+      max_global = std::max(max_global, result.max_global_skew);
+      max_local = std::max(max_local, result.max_local_skew);
+      total_events += result.events_executed;
+    }
+    if (!cell_out.failures.empty()) ++out.failed_cells;
+    total_wall_ms += cell_out.wall_ms;
+
+    if (!options.quiet) {
+      log << "[" << (i + 1) << "/" << campaign.cells.size() << "] "
+          << cell.label
+          << (!ran ? " ERROR" : cell_out.failures.empty() ? " ok" : " FAIL")
+          << " (" << json::dump_number(cell_out.wall_ms) << " ms, "
+          << cell_out.result.events_executed << " events, max skew "
+          << json::dump_number(cell_out.result.max_global_skew) << ")\n";
+    }
+    for (const std::string& failure : cell_out.failures) {
+      log << "  check: " << cell.label << ": " << failure << "\n";
+    }
+    out.cells.push_back(std::move(cell_out));
+  }
+
+  write_file(out_dir / "campaign.csv", csv);
+  write_file(out_dir / "campaign.jsonl", jsonl);
+
+  json::Value summary;
+  summary["schema_version"] = harness::kResultSchemaVersion;
+  summary["campaign"] = campaign.name;
+  summary["cells"] = out.cells.size();
+  summary["failed_cells"] = out.failed_cells;
+  summary["errored_cells"] = out.errored_cells;
+  summary["max_global_skew"] = max_global;
+  summary["max_local_skew"] = max_local;
+  summary["total_events"] = total_events;
+  summary["total_wall_ms"] = total_wall_ms;
+  write_file(out_dir / "summary.json", json::dump(summary, 2) + "\n");
+
+  log << campaign.name << ": " << out.cells.size() << " cell(s), "
+      << out.failed_cells << " failed, " << total_events << " events in "
+      << json::dump_number(total_wall_ms) << " ms -> " << out.out_dir << "\n";
+
+  // Cells that could not run at all are a broken campaign, not a physics
+  // finding: they fail the run with or without --check.
+  if (out.errored_cells > 0) return 1;
+  return options.check && out.failed_cells > 0 ? 1 : 0;
+}
+
+}  // namespace gcs::cli

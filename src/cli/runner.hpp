@@ -1,0 +1,66 @@
+// gcs::cli -- the campaign runner behind gcs_run.
+//
+// Executes every cell of a Campaign through harness::run_experiment and
+// writes one results tree:
+//
+//   <out>/
+//     cells/<label>.json   per-cell document: config echo + result + timing
+//     campaign.csv         one row per cell (kCsvHeader; CI diffs this)
+//     campaign.jsonl       the per-cell documents again, one compact line
+//                          each, for jq-style slicing
+//     summary.json         campaign name, cell/failure counts, worst skews
+//
+// In check mode every cell is audited after it runs: bound violations,
+// monotonicity failures, engine clamps (reported with the first offending
+// (time, seq) pair from RunStats), and schema drift -- each written cell
+// file is re-parsed through result_from_json and must reproduce the same
+// bytes.  Any failure makes run_campaign return exit code 1; the process
+// never aborts mid-campaign, so one bad cell still leaves a complete
+// results tree to inspect.
+#ifndef GCS_CLI_RUNNER_HPP
+#define GCS_CLI_RUNNER_HPP
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "cli/campaign.hpp"
+#include "harness/experiment.hpp"
+
+namespace gcs::cli {
+
+struct RunnerOptions {
+  std::string out_dir;  // empty -> "results/<campaign-name>"
+  bool check = false;   // audit cells; exit 1 on any failure
+  bool quiet = false;   // suppress per-cell progress lines
+  bool list_only = false;  // print expanded cells, run nothing
+};
+
+// The exact campaign.csv header line (no trailing newline).  The e2e test
+// and any external consumer pin this string; adding a column is a schema
+// change (append, and bump harness::kResultSchemaVersion).
+extern const char kCsvHeader[];
+
+struct CellOutcome {
+  std::string label;
+  harness::ExperimentResult result;  // default-initialized if the cell errored
+  double wall_ms = 0.0;
+  std::vector<std::string> failures;  // empty -> cell passed the audit
+};
+
+struct CampaignOutcome {
+  std::vector<CellOutcome> cells;
+  std::size_t failed_cells = 0;   // audit failures + errored cells
+  std::size_t errored_cells = 0;  // threw instead of running (bad config)
+  std::string out_dir;            // resolved output directory
+};
+
+// Runs (or lists) the campaign.  `log` receives progress and audit
+// findings.  Returns 0 on success, 1 when check mode found failures or
+// when any cell errored (errors fail the run even without --check).
+int run_campaign(const Campaign& campaign, const RunnerOptions& options,
+                 std::ostream& log, CampaignOutcome* outcome = nullptr);
+
+}  // namespace gcs::cli
+
+#endif  // GCS_CLI_RUNNER_HPP

@@ -53,7 +53,13 @@ NetworkSimulation::NetworkSimulation(const SyncParams& params,
   }
 }
 
-void NetworkSimulation::run_until(sim::Time t) { engine_.run_until(t); }
+void NetworkSimulation::run_until(sim::Time t) {
+  engine_.run_until(t);
+  if (engine_.clamped_count() > 0) {
+    stats_.first_clamped_time = engine_.first_clamped_time();
+    stats_.first_clamped_seq = engine_.first_clamped_seq();
+  }
+}
 
 void NetworkSimulation::schedule_periodic(sim::Time start, sim::Duration period,
                                           std::function<void(sim::Time)> fn) {

@@ -62,6 +62,12 @@ struct RunStats {
   std::uint64_t conformance_checks = 0;
   std::uint64_t conformance_envelope_failures = 0;
   std::uint64_t conformance_monotonicity_failures = 0;
+  // First engine at() call that asked for a past time: the requested time
+  // and the event's seq, copied from the engine after each run_until so a
+  // nonzero clamp count names the offending schedule entry.  Meaningful
+  // only when engine_clamped_count() > 0 (0/0 otherwise).
+  double first_clamped_time = 0.0;
+  std::uint64_t first_clamped_seq = 0;
 };
 
 class NetworkSimulation {

@@ -1,0 +1,155 @@
+#include "harness/serialize.hpp"
+
+#include <cstddef>
+#include <set>
+#include <string>
+
+namespace gcs::harness {
+
+namespace util = gcs::util;
+
+namespace {
+
+// Strict field readers: a result document must contain exactly what the
+// writer of this schema version produced.
+double req_num(const util::json::Value& doc, const char* key) {
+  return doc.at(key).as_number();
+}
+
+std::uint64_t req_u64(const util::json::Value& doc, const char* key) {
+  return doc.at(key).as_u64();
+}
+
+}  // namespace
+
+util::json::Value to_json(const core::RunStats& stats) {
+  util::json::Value v;
+  v["messages_sent"] = stats.messages_sent;
+  v["messages_delivered"] = stats.messages_delivered;
+  v["messages_dropped"] = stats.messages_dropped;
+  v["delivery_events"] = stats.delivery_events;
+  v["jumps"] = stats.jumps;
+  v["total_jump"] = stats.total_jump;
+  v["topology_events_applied"] = stats.topology_events_applied;
+  v["conformance_checks"] = stats.conformance_checks;
+  v["conformance_envelope_failures"] = stats.conformance_envelope_failures;
+  v["conformance_monotonicity_failures"] =
+      stats.conformance_monotonicity_failures;
+  v["first_clamped_time"] = stats.first_clamped_time;
+  v["first_clamped_seq"] = stats.first_clamped_seq;
+  return v;
+}
+
+core::RunStats run_stats_from_json(const util::json::Value& doc) {
+  core::RunStats stats;
+  stats.messages_sent = req_u64(doc, "messages_sent");
+  stats.messages_delivered = req_u64(doc, "messages_delivered");
+  stats.messages_dropped = req_u64(doc, "messages_dropped");
+  stats.delivery_events = req_u64(doc, "delivery_events");
+  stats.jumps = req_u64(doc, "jumps");
+  stats.total_jump = req_num(doc, "total_jump");
+  stats.topology_events_applied = req_u64(doc, "topology_events_applied");
+  stats.conformance_checks = req_u64(doc, "conformance_checks");
+  stats.conformance_envelope_failures =
+      req_u64(doc, "conformance_envelope_failures");
+  stats.conformance_monotonicity_failures =
+      req_u64(doc, "conformance_monotonicity_failures");
+  stats.first_clamped_time = req_num(doc, "first_clamped_time");
+  stats.first_clamped_seq = req_u64(doc, "first_clamped_seq");
+  return stats;
+}
+
+util::json::Value to_json(const ExperimentResult& result) {
+  util::json::Value v;
+  v["schema_version"] = kResultSchemaVersion;
+  v["name"] = result.name;
+  v["max_global_skew"] = result.max_global_skew;
+  v["max_local_skew"] = result.max_local_skew;
+  v["global_skew_bound"] = result.global_skew_bound;
+  v["local_skew_floor"] = result.local_skew_floor;
+  v["global_violations"] = result.global_violations;
+  v["envelope_violations"] = result.envelope_violations;
+  v["samples"] = result.samples;
+  v["events_executed"] = result.events_executed;
+  v["clamped_events"] = result.clamped_events;
+  v["run_stats"] = to_json(result.run_stats);
+  return v;
+}
+
+ExperimentResult result_from_json(const util::json::Value& doc) {
+  const std::uint64_t version = req_u64(doc, "schema_version");
+  if (version != static_cast<std::uint64_t>(kResultSchemaVersion)) {
+    throw util::json::Error(
+        "result schema drift: document has version " + std::to_string(version) +
+        ", this reader expects " + std::to_string(kResultSchemaVersion));
+  }
+  ExperimentResult result;
+  result.name = doc.at("name").as_string();
+  result.max_global_skew = req_num(doc, "max_global_skew");
+  result.max_local_skew = req_num(doc, "max_local_skew");
+  result.global_skew_bound = req_num(doc, "global_skew_bound");
+  result.local_skew_floor = req_num(doc, "local_skew_floor");
+  result.global_violations = req_u64(doc, "global_violations");
+  result.envelope_violations = req_u64(doc, "envelope_violations");
+  result.samples = req_u64(doc, "samples");
+  result.events_executed = req_u64(doc, "events_executed");
+  result.clamped_events = req_u64(doc, "clamped_events");
+  result.run_stats = run_stats_from_json(doc.at("run_stats"));
+  return result;
+}
+
+util::json::Value config_to_json(const ExperimentConfig& config) {
+  util::json::Value v;
+  v["name"] = config.name;
+  v["n"] = config.params.n;
+  v["rho"] = config.params.rho;
+  v["T"] = config.params.T;
+  v["D"] = config.params.D;
+  v["delta_h"] = config.params.delta_h;
+  v["B0"] = config.params.B0;
+  v["topology"] = config.topology;
+  v["drift"] = config.drift;
+  v["delay"] = config.delay;
+  v["engine"] = config.engine;
+  v["delivery"] = config.delivery;
+  v["horizon"] = config.horizon;
+  v["sample_dt"] = config.sample_dt;
+  v["seed"] = config.seed;
+  return v;
+}
+
+ExperimentConfig config_from_json(const util::json::Value& doc) {
+  static const std::set<std::string> kKnown = {
+      "name",   "n",     "rho",      "T",         "D",    "delta_h",
+      "B0",     "topology", "drift", "delay",     "engine", "delivery",
+      "horizon", "sample_dt", "seed"};
+  for (const auto& [key, value] : doc.as_object()) {
+    (void)value;
+    if (kKnown.count(key) == 0) {
+      throw util::json::Error("config: unknown key '" + key + "'");
+    }
+  }
+  ExperimentConfig config;
+  if (const auto* v = doc.find("name")) config.name = v->as_string();
+  if (const auto* v = doc.find("n")) {
+    config.params.n = static_cast<std::size_t>(v->as_u64());
+  }
+  if (const auto* v = doc.find("rho")) config.params.rho = v->as_number();
+  if (const auto* v = doc.find("T")) config.params.T = v->as_number();
+  if (const auto* v = doc.find("D")) config.params.D = v->as_number();
+  if (const auto* v = doc.find("delta_h")) {
+    config.params.delta_h = v->as_number();
+  }
+  if (const auto* v = doc.find("B0")) config.params.B0 = v->as_number();
+  if (const auto* v = doc.find("topology")) config.topology = v->as_string();
+  if (const auto* v = doc.find("drift")) config.drift = v->as_string();
+  if (const auto* v = doc.find("delay")) config.delay = v->as_string();
+  if (const auto* v = doc.find("engine")) config.engine = v->as_string();
+  if (const auto* v = doc.find("delivery")) config.delivery = v->as_string();
+  if (const auto* v = doc.find("horizon")) config.horizon = v->as_number();
+  if (const auto* v = doc.find("sample_dt")) config.sample_dt = v->as_number();
+  if (const auto* v = doc.find("seed")) config.seed = v->as_u64();
+  return config;
+}
+
+}  // namespace gcs::harness

@@ -1,0 +1,51 @@
+// gcs::harness -- stable JSON serialization of experiment configs and
+// results.
+//
+// This is the wire format between the simulator and everything downstream
+// of it: per-cell result files, the campaign JSONL/CSV, CI's --check gate,
+// and any future diffing tool.  The schema is versioned and strict:
+//
+//   * every result document carries "schema_version"; readers reject any
+//     other version instead of guessing (bump kResultSchemaVersion whenever
+//     a field is added, removed, or changes meaning);
+//   * result_from_json requires every field it knows about, so a document
+//     written by a drifted writer fails loudly at read time rather than
+//     silently zero-filling counters that CI gates on;
+//   * to_json(result_from_json(doc)) reproduces doc byte-for-byte under
+//     json::dump (round-trip identity; enforced by test_serialize.cpp and
+//     re-checked on every gcs_run --check).
+#ifndef GCS_HARNESS_SERIALIZE_HPP
+#define GCS_HARNESS_SERIALIZE_HPP
+
+#include "harness/experiment.hpp"
+#include "util/json.hpp"
+
+namespace gcs::harness {
+
+// Bump on ANY change to the result document layout.  History:
+//   1 -- initial schema (PR 3): result fields + run_stats subobject
+//        including the first-clamped (time, seq) audit pair.
+inline constexpr int kResultSchemaVersion = 1;
+
+util::json::Value to_json(const core::RunStats& stats);
+core::RunStats run_stats_from_json(const util::json::Value& doc);
+
+// The result document: all ExperimentResult fields, a "run_stats"
+// subobject, and "schema_version".
+util::json::Value to_json(const ExperimentResult& result);
+// Throws util::json::Error on a missing/mistyped field or on any
+// schema_version other than kResultSchemaVersion.
+ExperimentResult result_from_json(const util::json::Value& doc);
+
+// The declarative slice of an ExperimentConfig (everything except the
+// programmatic `scenario` and `options` fields), for echoing into result
+// files so a cell is re-runnable from its output alone.  The CLI layer
+// adds its own "scenario" key next to this when a generator spec is used.
+util::json::Value config_to_json(const ExperimentConfig& config);
+// Reads the same shape back; missing keys keep the ExperimentConfig
+// defaults, unknown keys throw (they are typos, not forward compat).
+ExperimentConfig config_from_json(const util::json::Value& doc);
+
+}  // namespace gcs::harness
+
+#endif  // GCS_HARNESS_SERIALIZE_HPP

@@ -10,6 +10,10 @@ Engine::Engine(EnginePolicy policy) : policy_(policy) {}
 
 void Engine::at(Time t, std::function<void()> fn) {
   if (t < now_) {
+    if (clamped_ == 0) {
+      first_clamped_time_ = t;
+      first_clamped_seq_ = next_seq_;
+    }
     ++clamped_;
     t = now_;
   }

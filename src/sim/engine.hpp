@@ -65,6 +65,11 @@ class Engine {
   }
   // Number of at() calls that asked for a time strictly before now().
   std::uint64_t clamped_count() const { return clamped_; }
+  // The first offending at() call: the past time it asked for and the seq
+  // it was assigned, so a nonzero clamp count points at a concrete event in
+  // the schedule.  Meaningful only when clamped_count() > 0.
+  Time first_clamped_time() const { return first_clamped_time_; }
+  std::uint64_t first_clamped_seq() const { return first_clamped_seq_; }
   EnginePolicy policy() const { return policy_; }
 
  private:
@@ -85,6 +90,8 @@ class Engine {
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
   std::uint64_t clamped_ = 0;
+  Time first_clamped_time_ = 0.0;
+  std::uint64_t first_clamped_seq_ = 0;
 };
 
 }  // namespace gcs::sim

@@ -1,0 +1,210 @@
+#include "cli/campaign.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+
+#include "harness/experiment.hpp"
+#include "util/json.hpp"
+
+namespace {
+
+namespace cli = gcs::cli;
+namespace json = gcs::util::json;
+
+cli::Campaign from_text(const std::string& text,
+                        std::map<std::string, std::string> overrides = {}) {
+  const json::Value doc = json::parse(text);
+  return cli::build_campaign(&doc, overrides);
+}
+
+TEST(Campaign, ExpandsCrossProductInCanonicalOrder) {
+  const cli::Campaign campaign = from_text(R"({
+    "name": "unit",
+    "defaults": {"rho": 0.01, "horizon": 30},
+    "sweep": {
+      "n": [8, 16],
+      "topology": ["ring", "complete"],
+      "seeds": {"base": 1, "count": 3}
+    }
+  })");
+  ASSERT_EQ(campaign.cells.size(), 12u);  // 2 * 2 * 3
+  EXPECT_EQ(campaign.name, "unit");
+
+  std::set<std::string> labels;
+  for (const cli::Cell& cell : campaign.cells) {
+    labels.insert(cell.label);
+    EXPECT_DOUBLE_EQ(cell.config.params.rho, 0.01);
+    EXPECT_DOUBLE_EQ(cell.config.horizon, 30.0);
+    EXPECT_TRUE(cell.scenario.is_static());
+    EXPECT_EQ(cell.config.name, "unit/" + cell.label);
+  }
+  EXPECT_EQ(labels.size(), 12u);  // labels are unique
+
+  // Canonical order: n varies slowest, seed fastest.
+  EXPECT_EQ(campaign.cells[0].label, "000-n8-ring-s1");
+  EXPECT_EQ(campaign.cells[1].label, "001-n8-ring-s2");
+  EXPECT_EQ(campaign.cells[3].label, "003-n8-complete-s1");
+  EXPECT_EQ(campaign.cells[11].label, "011-n16-complete-s3");
+  EXPECT_EQ(campaign.cells[11].config.params.n, 16u);
+  EXPECT_EQ(campaign.cells[11].config.seed, 3u);
+}
+
+TEST(Campaign, SeedListAndUnsweptAxesKeepDefaults) {
+  const cli::Campaign campaign = from_text(R"({
+    "name": "seeds",
+    "sweep": {"seeds": [7, 9]}
+  })");
+  ASSERT_EQ(campaign.cells.size(), 2u);
+  EXPECT_EQ(campaign.cells[0].config.seed, 7u);
+  EXPECT_EQ(campaign.cells[1].config.seed, 9u);
+  // Untouched axes keep the ExperimentConfig defaults.
+  EXPECT_EQ(campaign.cells[0].config.topology, "path");
+  EXPECT_EQ(campaign.cells[0].config.engine, "calendar");
+  EXPECT_EQ(campaign.cells[0].config.params.n, 2u);
+}
+
+TEST(Campaign, ScenarioAxisSweepsGenerators) {
+  const cli::Campaign campaign = from_text(R"({
+    "name": "dyn",
+    "defaults": {"n": 10, "horizon": 40},
+    "sweep": {
+      "scenario": [
+        {"kind": "churn", "volatile_edges": 4, "lifetime": 5},
+        {"kind": "switching-star", "period": 8, "overlap": 2}
+      ],
+      "seeds": [1, 2]
+    }
+  })");
+  ASSERT_EQ(campaign.cells.size(), 4u);
+  EXPECT_EQ(campaign.cells[0].scenario.kind, "churn");
+  EXPECT_EQ(campaign.cells[0].scenario.volatile_edges, 4u);
+  EXPECT_EQ(campaign.cells[2].scenario.kind, "switching-star");
+  EXPECT_DOUBLE_EQ(campaign.cells[2].scenario.period, 8.0);
+
+  // instantiate() resolves the spec against the cell's n/horizon/seed,
+  // deterministically.
+  const gcs::harness::ExperimentConfig a =
+      cli::instantiate(campaign.cells[0]);
+  const gcs::harness::ExperimentConfig b =
+      cli::instantiate(campaign.cells[0]);
+  ASSERT_TRUE(a.scenario.has_value());
+  EXPECT_EQ(a.scenario->n, 10u);
+  EXPECT_EQ(a.scenario->events.size(), b.scenario->events.size());
+  EXPECT_GT(a.scenario->events.size(), 0u);
+
+  // Different seeds draw different churn adversaries.
+  const gcs::harness::ExperimentConfig c =
+      cli::instantiate(campaign.cells[1]);
+  bool differs = a.scenario->events.size() != c.scenario->events.size();
+  for (std::size_t i = 0;
+       !differs && i < a.scenario->events.size(); ++i) {
+    differs = a.scenario->events[i].at != c.scenario->events[i].at;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Campaign, OverridesPinOrResweepAxes) {
+  const std::string text = R"({
+    "name": "base",
+    "sweep": {"engine": ["calendar", "heap"], "n": [4, 8]}
+  })";
+  // Scalar override pins a swept axis.
+  const cli::Campaign pinned = from_text(text, {{"engine", "heap"}});
+  ASSERT_EQ(pinned.cells.size(), 2u);
+  for (const cli::Cell& cell : pinned.cells) {
+    EXPECT_EQ(cell.config.engine, "heap");
+  }
+  // List override re-sweeps; ranges expand inclusively.
+  const cli::Campaign reswept = from_text(text, {{"seeds", "1..3"}});
+  EXPECT_EQ(reswept.cells.size(), 2u * 2u * 3u);
+  // Name override renames the campaign.
+  const cli::Campaign renamed = from_text(text, {{"name", "other"}});
+  EXPECT_EQ(renamed.name, "other");
+  EXPECT_EQ(renamed.cells[0].config.name.rfind("other/", 0), 0u);
+}
+
+TEST(Campaign, FlagsOnlyMode) {
+  const cli::Campaign campaign = cli::build_campaign(
+      nullptr, {{"n", "4,6"}, {"drift", "walk"}, {"topology", "ring"}});
+  ASSERT_EQ(campaign.cells.size(), 2u);
+  EXPECT_EQ(campaign.name, "adhoc");
+  EXPECT_EQ(campaign.cells[0].config.params.n, 4u);
+  EXPECT_EQ(campaign.cells[1].config.params.n, 6u);
+  EXPECT_EQ(campaign.cells[0].config.drift, "walk");
+  EXPECT_EQ(campaign.cells[0].config.topology, "ring");
+}
+
+TEST(Campaign, ScenarioFlagSyntax) {
+  const cli::ScenarioSpec spec =
+      cli::ScenarioSpec::from_flag("churn:lifetime=5:volatile_edges=3");
+  EXPECT_EQ(spec.kind, "churn");
+  EXPECT_DOUBLE_EQ(spec.lifetime, 5.0);
+  EXPECT_EQ(spec.volatile_edges, 3u);
+
+  const cli::Campaign campaign = cli::build_campaign(
+      nullptr, {{"n", "6"}, {"scenario", "mobility:backbone=true:radius=0.4"}});
+  ASSERT_EQ(campaign.cells.size(), 1u);
+  EXPECT_EQ(campaign.cells[0].scenario.kind, "mobility");
+  EXPECT_DOUBLE_EQ(campaign.cells[0].scenario.radius, 0.4);
+
+  EXPECT_THROW(cli::ScenarioSpec::from_flag("churn:period=3"),
+               std::invalid_argument);  // knob of the wrong kind
+  EXPECT_THROW(cli::ScenarioSpec::from_flag("warp"), std::invalid_argument);
+}
+
+TEST(Campaign, SpecJsonRoundTrip) {
+  const cli::ScenarioSpec spec =
+      cli::ScenarioSpec::from_flag("mobility:radius=0.5:backbone=false");
+  const cli::ScenarioSpec back = cli::ScenarioSpec::from_json(spec.to_json());
+  EXPECT_EQ(json::dump(back.to_json()), json::dump(spec.to_json()));
+  EXPECT_FALSE(back.backbone);
+}
+
+TEST(Campaign, RejectsMalformedCampaigns) {
+  EXPECT_THROW(from_text(R"({"swep": {}})"), std::invalid_argument);
+  EXPECT_THROW(from_text(R"({"sweep": {"warp": [1]}})"),
+               std::invalid_argument);
+  EXPECT_THROW(from_text(R"({"defaults": {"topologyy": "ring"}})"),
+               std::invalid_argument);
+  EXPECT_THROW(from_text(R"({"sweep": {"n": []}})"), std::invalid_argument);
+  EXPECT_THROW(
+      from_text(R"({"sweep": {"seeds": {"base": 1, "cont": 3}}})"),
+      std::invalid_argument);
+  // Workload axis must be topology or scenario, not both.
+  EXPECT_THROW(from_text(R"({
+    "defaults": {"topology": "ring"},
+    "sweep": {"scenario": [{"kind": "churn"}]}
+  })"),
+               std::invalid_argument);
+  // Unknown override key.
+  EXPECT_THROW(cli::build_campaign(nullptr, {{"warp", "9"}}),
+               std::invalid_argument);
+  // Cross-product explosion guard -- including before the seeds axis is
+  // materialized, so an absurd count cannot allocate first.
+  EXPECT_THROW(from_text(R"({"sweep": {"seeds": {"base": 0, "count": 20000}}})"),
+               std::invalid_argument);
+  EXPECT_THROW(
+      from_text(R"({"sweep": {"seeds": {"base": 1, "count": 200000000}}})"),
+      std::invalid_argument);
+  // Ranges are strictly integer: a float-looking range must fail loudly,
+  // not strtoull-truncate into a silently different sweep.
+  EXPECT_THROW(cli::build_campaign(nullptr, {{"rho", "0.01..0.05"}}),
+               std::invalid_argument);
+  EXPECT_THROW(cli::build_campaign(nullptr, {{"seeds", "1..x"}}),
+               std::invalid_argument);
+}
+
+TEST(Campaign, NameIsSanitizedForPathsAndCsv) {
+  // Commas would break the CSV schema; slashes and dot-runs would escape
+  // the results root.
+  const cli::Campaign campaign = cli::build_campaign(
+      nullptr, {{"name", "a,b/../x"}, {"n", "4"}});
+  EXPECT_EQ(campaign.name, "a-b-..-x");
+  const cli::Campaign dots =
+      cli::build_campaign(nullptr, {{"name", ".."}, {"n", "4"}});
+  EXPECT_EQ(dots.name, "campaign");
+}
+
+}  // namespace

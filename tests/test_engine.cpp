@@ -85,6 +85,23 @@ TEST_P(EngineTest, SchedulingInThePastClampsToNowAndCountsIt) {
   EXPECT_DOUBLE_EQ(fired_at, 5.0);
   // The clamp must not be silent: exactly one at() asked for the past.
   EXPECT_EQ(engine.clamped_count(), 1u);
+  // And it must name the offender: the requested (past) time plus the seq
+  // the event got.  Seq 0 went to the top-level at(), so the nested
+  // offender is seq 1.
+  EXPECT_DOUBLE_EQ(engine.first_clamped_time(), 1.0);
+  EXPECT_EQ(engine.first_clamped_seq(), 1u);
+}
+
+TEST_P(EngineTest, FirstClampRecordKeepsTheEarliestOffender) {
+  Engine engine = make_engine();
+  engine.at(5.0, [&] {
+    engine.at(1.0, [] {});   // first offender: seq 1
+    engine.at(0.25, [] {});  // later clamps must not overwrite the record
+  });
+  engine.run_until(10.0);
+  EXPECT_EQ(engine.clamped_count(), 2u);
+  EXPECT_DOUBLE_EQ(engine.first_clamped_time(), 1.0);
+  EXPECT_EQ(engine.first_clamped_seq(), 1u);
 }
 
 TEST_P(EngineTest, WellFormedSchedulesNeverClamp) {

@@ -1,0 +1,130 @@
+#include "util/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+namespace {
+
+using gcs::util::json::Array;
+using gcs::util::json::Error;
+using gcs::util::json::Object;
+using gcs::util::json::Value;
+using gcs::util::json::dump;
+using gcs::util::json::dump_number;
+using gcs::util::json::parse;
+
+TEST(Json, ParsesPrimitives) {
+  EXPECT_TRUE(parse("null").is_null());
+  EXPECT_EQ(parse("true").as_bool(), true);
+  EXPECT_EQ(parse("false").as_bool(), false);
+  EXPECT_EQ(parse("42").as_number(), 42.0);
+  EXPECT_EQ(parse("-0.5").as_number(), -0.5);
+  EXPECT_EQ(parse("1e3").as_number(), 1000.0);
+  EXPECT_EQ(parse("\"hi\"").as_string(), "hi");
+  EXPECT_EQ(parse("  [1, 2]  ").as_array().size(), 2u);
+}
+
+TEST(Json, ParsesNestedDocument) {
+  const Value doc = parse(R"({
+    "name": "smoke",
+    "sweep": {"n": [8, 16], "topology": ["ring", "complete"]},
+    "check": true,
+    "slack": 1e-6
+  })");
+  EXPECT_EQ(doc.at("name").as_string(), "smoke");
+  EXPECT_EQ(doc.at("sweep").at("n").as_array()[1].as_number(), 16.0);
+  EXPECT_EQ(doc.at("sweep").at("topology").as_array()[0].as_string(), "ring");
+  EXPECT_TRUE(doc.at("check").as_bool());
+  EXPECT_DOUBLE_EQ(doc.at("slack").as_number(), 1e-6);
+  EXPECT_EQ(doc.find("missing"), nullptr);
+  EXPECT_THROW(doc.at("missing"), Error);
+}
+
+TEST(Json, StringEscapes) {
+  EXPECT_EQ(parse(R"("a\"b\\c\/d\n\t")").as_string(), "a\"b\\c/d\n\t");
+  EXPECT_EQ(parse(R"("A")").as_string(), "A");
+  EXPECT_EQ(parse(R"("é")").as_string(), "\xc3\xa9");          // é
+  EXPECT_EQ(parse(R"("€")").as_string(), "\xe2\x82\xac");      // €
+  EXPECT_EQ(parse(R"("😀")").as_string(),
+            "\xf0\x9f\x98\x80");  // 😀 via surrogate pair
+}
+
+TEST(Json, RejectsMalformedInput) {
+  EXPECT_THROW(parse(""), Error);
+  EXPECT_THROW(parse("{"), Error);
+  EXPECT_THROW(parse("[1,]"), Error);
+  EXPECT_THROW(parse("{\"a\":1,}"), Error);
+  EXPECT_THROW(parse("{\"a\" 1}"), Error);
+  EXPECT_THROW(parse("truex"), Error);
+  EXPECT_THROW(parse("1 2"), Error);
+  EXPECT_THROW(parse("'single'"), Error);
+  EXPECT_THROW(parse("\"unterminated"), Error);
+  EXPECT_THROW(parse("\"bad \\q escape\""), Error);
+  EXPECT_THROW(parse("\"\\ud800 unpaired\""), Error);
+  EXPECT_THROW(parse("01x"), Error);
+  EXPECT_THROW(parse("{\"a\":1,\"a\":2}"), Error);  // duplicate key
+  EXPECT_THROW(parse("1e999"), Error);              // overflows double
+}
+
+TEST(Json, AccessorsThrowOnKindMismatch) {
+  const Value v = parse("[1]");
+  EXPECT_THROW(v.as_object(), Error);
+  EXPECT_THROW(v.as_string(), Error);
+  EXPECT_THROW(v.as_number(), Error);
+  EXPECT_THROW(parse("1.5").as_u64(), Error);
+  EXPECT_THROW(parse("-1").as_u64(), Error);
+  EXPECT_EQ(parse("123456789").as_u64(), 123456789u);
+}
+
+TEST(Json, DumpIsDeterministicAndSorted) {
+  Value v;
+  v["zeta"] = 1;
+  v["alpha"] = Value(Array{Value(1), Value("two"), Value(nullptr)});
+  v["mid"] = Value(Object{{"k", Value(true)}});
+  EXPECT_EQ(dump(v), R"({"alpha":[1,"two",null],"mid":{"k":true},"zeta":1})");
+}
+
+TEST(Json, NumberFormattingRoundTrips) {
+  // Integers print without decimal point or exponent.
+  EXPECT_EQ(dump_number(0.0), "0");
+  EXPECT_EQ(dump_number(42.0), "42");
+  EXPECT_EQ(dump_number(-7.0), "-7");
+  EXPECT_EQ(dump_number(9007199254740991.0), "9007199254740991");
+  // Non-integers use the shortest form that round-trips exactly.
+  for (const double v : {0.1, 1.0 / 3.0, 6.02e23, -2.5e-8, 3.0000000000000004,
+                         std::numeric_limits<double>::denorm_min()}) {
+    const std::string s = dump_number(v);
+    EXPECT_EQ(std::strtod(s.c_str(), nullptr), v) << s;
+  }
+  EXPECT_EQ(dump_number(0.1), "0.1");
+  EXPECT_THROW(dump_number(std::nan("")), Error);
+  EXPECT_THROW(dump_number(std::numeric_limits<double>::infinity()), Error);
+}
+
+TEST(Json, ParseDumpParseIsIdentity) {
+  const char* docs[] = {
+      "null",
+      "[[],{},[{}],\"\"]",
+      R"({"a":[1,2.5,-3e-4],"b":{"c":"d\ne","f":[true,false,null]}})",
+      R"({"skew":0.123456789012345678,"n":128,"neg":-0.0625})",
+  };
+  for (const char* doc : docs) {
+    const Value once = parse(doc);
+    const std::string emitted = dump(once);
+    const Value twice = parse(emitted);
+    EXPECT_EQ(once, twice) << doc;
+    EXPECT_EQ(emitted, dump(twice)) << doc;  // byte-stable
+  }
+}
+
+TEST(Json, PrettyPrintReparsesEqual) {
+  const Value v = parse(R"({"a":[1,2],"b":{"c":[{"d":null}]},"e":[]})");
+  const std::string pretty = dump(v, 2);
+  EXPECT_NE(pretty.find('\n'), std::string::npos);
+  EXPECT_EQ(parse(pretty), v);
+}
+
+}  // namespace

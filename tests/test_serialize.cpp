@@ -1,0 +1,118 @@
+#include "harness/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hpp"
+#include "util/json.hpp"
+
+namespace {
+
+namespace harness = gcs::harness;
+namespace json = gcs::util::json;
+
+harness::ExperimentResult run_small() {
+  harness::ExperimentConfig cfg;
+  cfg.name = "serialize-unit";
+  cfg.params.n = 6;
+  cfg.params.D = 2.5;
+  cfg.topology = "ring";
+  cfg.horizon = 25.0;
+  cfg.sample_dt = 0.5;
+  cfg.seed = 3;
+  return harness::run_experiment(cfg);
+}
+
+TEST(Serialize, ResultRoundTripIsIdentity) {
+  const harness::ExperimentResult result = run_small();
+  const json::Value doc = harness::to_json(result);
+  const std::string emitted = json::dump(doc, 2);
+
+  // parse -> emit -> parse: the documents and their bytes must agree.
+  const json::Value reparsed = json::parse(emitted);
+  const harness::ExperimentResult back = harness::result_from_json(reparsed);
+  const json::Value doc2 = harness::to_json(back);
+  EXPECT_EQ(doc, doc2);
+  EXPECT_EQ(emitted, json::dump(doc2, 2));
+
+  // Spot-check the fields CI gates on actually travel.
+  EXPECT_EQ(back.name, result.name);
+  EXPECT_EQ(back.max_global_skew, result.max_global_skew);
+  EXPECT_EQ(back.global_violations, result.global_violations);
+  EXPECT_EQ(back.envelope_violations, result.envelope_violations);
+  EXPECT_EQ(back.clamped_events, result.clamped_events);
+  EXPECT_EQ(back.run_stats.messages_delivered,
+            result.run_stats.messages_delivered);
+  EXPECT_EQ(back.run_stats.first_clamped_seq,
+            result.run_stats.first_clamped_seq);
+}
+
+TEST(Serialize, ResultCarriesSchemaVersion) {
+  const json::Value doc = harness::to_json(run_small());
+  EXPECT_EQ(doc.at("schema_version").as_u64(),
+            static_cast<std::uint64_t>(harness::kResultSchemaVersion));
+}
+
+TEST(Serialize, RejectsSchemaDrift) {
+  json::Value doc = harness::to_json(run_small());
+  doc["schema_version"] = harness::kResultSchemaVersion + 1;
+  EXPECT_THROW(harness::result_from_json(doc), json::Error);
+
+  // A missing counter is drift too, not a zero.
+  json::Value truncated = harness::to_json(run_small());
+  truncated.as_object().erase("clamped_events");
+  EXPECT_THROW(harness::result_from_json(truncated), json::Error);
+
+  json::Value stats_drift = harness::to_json(run_small());
+  stats_drift["run_stats"].as_object().erase("first_clamped_seq");
+  EXPECT_THROW(harness::result_from_json(stats_drift), json::Error);
+}
+
+TEST(Serialize, ConfigRoundTrip) {
+  harness::ExperimentConfig cfg;
+  cfg.name = "cfg-unit";
+  cfg.params.n = 12;
+  cfg.params.rho = 0.01;
+  cfg.params.B0 = 30.0;
+  cfg.topology = "complete";
+  cfg.drift = "two-camp";
+  cfg.delay = "constant:0.25";
+  cfg.engine = "heap";
+  cfg.delivery = "per-receiver";
+  cfg.horizon = 75.0;
+  cfg.sample_dt = 0.25;
+  cfg.seed = 99;
+
+  const json::Value doc = harness::config_to_json(cfg);
+  const harness::ExperimentConfig back =
+      harness::config_from_json(json::parse(json::dump(doc)));
+  EXPECT_EQ(harness::config_to_json(back), doc);
+  EXPECT_EQ(back.params.n, 12u);
+  EXPECT_EQ(back.delay, "constant:0.25");
+  EXPECT_EQ(back.seed, 99u);
+}
+
+TEST(Serialize, ConfigReaderDefaultsMissingAndRejectsUnknownKeys) {
+  const harness::ExperimentConfig sparse =
+      harness::config_from_json(json::parse(R"({"n": 4, "drift": "walk"})"));
+  EXPECT_EQ(sparse.params.n, 4u);
+  EXPECT_EQ(sparse.drift, "walk");
+  EXPECT_EQ(sparse.topology, "path");  // ExperimentConfig default
+  EXPECT_EQ(sparse.engine, "calendar");
+
+  EXPECT_THROW(
+      harness::config_from_json(json::parse(R"({"topologyy": "ring"})")),
+      json::Error);
+}
+
+TEST(Serialize, RunningAndReloadingAgree) {
+  // A result that went to disk and came back describes the same run.
+  const harness::ExperimentResult a = run_small();
+  const harness::ExperimentResult b =
+      harness::result_from_json(json::parse(json::dump(harness::to_json(a))));
+  EXPECT_EQ(b.events_executed, a.events_executed);
+  EXPECT_EQ(b.samples, a.samples);
+  EXPECT_EQ(b.run_stats.jumps, a.run_stats.jumps);
+  EXPECT_EQ(b.run_stats.total_jump, a.run_stats.total_jump);
+}
+
+}  // namespace

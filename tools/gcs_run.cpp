@@ -1,0 +1,130 @@
+// gcs_run -- the CLI experiment runner.
+//
+//   gcs_run --campaign campaigns/smoke.json --check
+//   gcs_run --n=8,16 --topology=ring --drift=two-camp --seeds=1..5
+//   gcs_run --campaign campaigns/churn.json --horizon=120 --list
+//
+// Campaign files and --key=value flags feed the same expansion (see
+// src/cli/campaign.hpp); flags overlay the file.  Exit codes: 0 success,
+// 1 check failures (bound violations, clamps, schema drift), 2 bad usage
+// or malformed campaign.
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "cli/campaign.hpp"
+#include "cli/runner.hpp"
+#include "util/json.hpp"
+
+namespace {
+
+constexpr const char kUsage[] = R"(gcs_run -- declarative experiment campaigns for the GCS simulator
+
+usage: gcs_run [--campaign FILE] [--key=value ...] [options]
+
+options:
+  --campaign FILE   campaign JSON ({name, defaults, sweep}); flags overlay it
+  --out DIR         results directory (default: results/<campaign-name>)
+  --check           audit every cell (bound violations, engine clamps,
+                    result-schema round-trip) and exit 1 on any failure
+  --list            print the expanded cells and run nothing
+  --quiet           suppress per-cell progress lines
+  --help            this text
+
+sweepable keys (comma lists and integer ranges a..b become axes):
+  n, topology (path|ring|star|complete), drift (spread|walk|two-camp),
+  delay (uniform|constant[:x]), engine (calendar|heap),
+  delivery (batched|per-receiver), rho, T, D, delta_h, B0,
+  horizon, sample_dt, seed (alias: seeds)
+  scenario: kind[:knob=value...] with kind churn|switching-star|mobility
+
+examples:
+  gcs_run --campaign campaigns/smoke.json --check
+  gcs_run --n=8,16,32 --topology=ring,complete --seeds=1..5
+  gcs_run --campaign campaigns/churn.json --horizon=120 --out /tmp/churn
+)";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string campaign_file;
+  gcs::cli::RunnerOptions options;
+  std::map<std::string, std::string> overrides;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::cout << kUsage;
+      return 0;
+    }
+    if (arg == "--check") {
+      options.check = true;
+      continue;
+    }
+    if (arg == "--list") {
+      options.list_only = true;
+      continue;
+    }
+    if (arg == "--quiet") {
+      options.quiet = true;
+      continue;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      std::cerr << "gcs_run: unexpected argument '" << arg << "'\n" << kUsage;
+      return 2;
+    }
+    // --key=value, or --key value for the two path-valued options.
+    std::string key = arg.substr(2);
+    std::string value;
+    if (const std::size_t eq = key.find('='); eq != std::string::npos) {
+      value = key.substr(eq + 1);
+      key = key.substr(0, eq);
+    } else if ((key == "campaign" || key == "out") && i + 1 < argc) {
+      value = argv[++i];
+    } else {
+      std::cerr << "gcs_run: option --" << key << " needs a value\n";
+      return 2;
+    }
+    if (key == "campaign") {
+      campaign_file = value;
+    } else if (key == "out") {
+      options.out_dir = value;
+    } else {
+      overrides[key] = value;
+    }
+  }
+
+  try {
+    gcs::util::json::Value doc;
+    bool have_doc = false;
+    if (!campaign_file.empty()) {
+      std::ifstream in(campaign_file, std::ios::binary);
+      if (!in) {
+        std::cerr << "gcs_run: cannot open campaign file '" << campaign_file
+                  << "'\n";
+        return 2;
+      }
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      doc = gcs::util::json::parse(buf.str());
+      have_doc = true;
+    } else if (overrides.empty()) {
+      std::cerr << "gcs_run: nothing to run (no --campaign, no flags)\n\n"
+                << kUsage;
+      return 2;
+    }
+
+    const gcs::cli::Campaign campaign =
+        gcs::cli::build_campaign(have_doc ? &doc : nullptr, overrides);
+    if (campaign.cells.empty()) {
+      std::cerr << "gcs_run: campaign expanded to zero cells\n";
+      return 2;
+    }
+    return gcs::cli::run_campaign(campaign, options, std::cout);
+  } catch (const std::exception& e) {
+    std::cerr << "gcs_run: " << e.what() << "\n";
+    return 2;
+  }
+}
