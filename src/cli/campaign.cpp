@@ -150,6 +150,20 @@ harness::ExperimentConfig instantiate(const Cell& cell) {
   return config;
 }
 
+std::string sanitize_component(std::string text, const std::string& fallback) {
+  for (char& c : text) {
+    const bool safe = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '.' || c == '-' ||
+                      c == '_';
+    if (!safe) c = '-';
+  }
+  // An all-dots name would still be a path traversal ("results/..").
+  if (text.empty() || text.find_first_not_of('.') == std::string::npos) {
+    text = fallback;
+  }
+  return text;
+}
+
 // ---------------------------------------------------------------------------
 // Campaign expansion
 // ---------------------------------------------------------------------------
@@ -252,23 +266,6 @@ std::vector<json::Value> parse_override_values(const std::string& key,
   return values;
 }
 
-// Filesystem- and CSV-safe token: the campaign name and every label part
-// pass through here, because both end up in the output path and in
-// unquoted CSV cells.
-std::string sanitize(std::string text) {
-  for (char& c : text) {
-    const bool safe = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
-                      (c >= '0' && c <= '9') || c == '.' || c == '-' ||
-                      c == '_';
-    if (!safe) c = '-';
-  }
-  // An all-dots name would still be a path traversal ("results/..").
-  if (text.empty() || text.find_first_not_of('.') == std::string::npos) {
-    text = "campaign";
-  }
-  return text;
-}
-
 std::string label_part(const std::string& key, const json::Value& v) {
   std::string part;
   if (key == "scenario") {
@@ -282,7 +279,7 @@ std::string label_part(const std::string& key, const json::Value& v) {
   } else {
     part = key + json::dump_number(v.as_number());
   }
-  return sanitize(std::move(part));
+  return sanitize_component(std::move(part));
 }
 
 }  // namespace
@@ -346,7 +343,7 @@ Campaign build_campaign(const json::Value* doc,
     }
   }
 
-  campaign.name = sanitize(std::move(campaign.name));
+  campaign.name = sanitize_component(std::move(campaign.name));
 
   // 3. The workload axis is either static topologies or scenario specs,
   //    never a mix: naming both is ambiguous, so it is an error.

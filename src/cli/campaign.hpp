@@ -94,6 +94,15 @@ Campaign build_campaign(const util::json::Value* doc,
 // against the cell's n / horizon / seed).
 harness::ExperimentConfig instantiate(const Cell& cell);
 
+// Filesystem-safe token: [A-Za-z0-9._-] pass through, everything else
+// becomes '-'; empty or all-dots input (a path-traversal hazard) falls
+// back to `fallback`.  Campaign names and label parts built by
+// build_campaign already pass through this; the runner applies it again
+// to cell labels before using them as file names, because run_campaign
+// also accepts hand-built Campaigns with arbitrary labels.
+std::string sanitize_component(std::string text,
+                               const std::string& fallback = "campaign");
+
 }  // namespace gcs::cli
 
 #endif  // GCS_CLI_CAMPAIGN_HPP

@@ -1,0 +1,66 @@
+// gcs::cli -- campaign result-tree diffing, the engine behind gcs_diff.
+//
+// Two gcs_run results trees are mechanically comparable: cells match by
+// their "cell" label (not by file name), and every field of the matched
+// cell documents is compared --
+//
+//   * counters and strings exactly (events_executed, violation counts,
+//     config echoes, scenario specs, ...);
+//   * float-valued physics fields (skews, bounds, total_jump, ...) within
+//     an absolute tolerance, 0 by default so "compare" means "identical";
+//   * wall_ms / events_per_sec are timing, not trajectory: they are
+//     ignored unless compare_timing is set, which is what lets a --jobs 4
+//     tree diff clean against a --jobs 1 baseline without --fixed-timing;
+//   * a schema_version mismatch is reported once per cell as schema drift
+//     rather than as a pile of per-field noise.
+//
+// Cells present in only one tree are reported as missing/extra.  With
+// `strict`, any difference (field, missing cell, schema drift) makes
+// diff_trees return 1, so CI can gate "did this refactor change any
+// trajectory?" the same way gcs_run --check gates physics.
+#ifndef GCS_CLI_DIFF_HPP
+#define GCS_CLI_DIFF_HPP
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+
+namespace gcs::cli {
+
+struct DiffOptions {
+  // Absolute tolerance for float-classified fields; counters, strings,
+  // and structure always compare exactly.
+  double tolerance = 0.0;
+  bool compare_timing = false;  // include wall_ms / events_per_sec
+  bool strict = false;          // return 1 on any difference
+  bool quiet = false;           // print the summary line only
+  std::size_t max_report = 64;  // cap on printed difference lines
+};
+
+struct DiffStats {
+  std::size_t cells_compared = 0;   // labels present in both trees
+  std::size_t cells_differing = 0;  // matched cells with >= 1 field diff
+  std::size_t field_diffs = 0;      // individual differing fields
+  std::size_t missing_cells = 0;    // labels only in tree A
+  std::size_t extra_cells = 0;      // labels only in tree B
+  std::size_t schema_mismatches = 0;  // cells whose schema_version differs
+
+  bool clean() const {
+    return cells_differing == 0 && field_diffs == 0 && missing_cells == 0 &&
+           extra_cells == 0 && schema_mismatches == 0;
+  }
+};
+
+// Compares the trees at dir_a and dir_b cell by cell, writing human-
+// readable difference lines and a one-line summary to `log`.  Returns 0
+// when the trees match under `options` (always, unless strict), 1 when
+// strict and any difference was found.  Throws std::runtime_error when
+// either directory is not a readable results tree -- gcs_diff maps that
+// to exit code 2, keeping "trees differ" and "bad invocation" distinct.
+int diff_trees(const std::string& dir_a, const std::string& dir_b,
+               const DiffOptions& options, std::ostream& log,
+               DiffStats* stats = nullptr);
+
+}  // namespace gcs::cli
+
+#endif  // GCS_CLI_DIFF_HPP

@@ -1,11 +1,19 @@
 #include "cli/runner.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <condition_variable>
+#include <exception>
 #include <filesystem>
 #include <fstream>
+#include <mutex>
 #include <ostream>
+#include <set>
 #include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <utility>
 
 #include "harness/serialize.hpp"
 #include "util/json.hpp"
@@ -21,6 +29,17 @@ const char kCsvHeader[] =
     "max_local_skew,local_skew_floor,global_violations,envelope_violations,"
     "monotonicity_failures,messages_sent,messages_delivered,messages_dropped,"
     "delivery_events,events_executed,clamped_events,wall_ms,events_per_sec";
+
+std::string csv_field(const std::string& field) {
+  if (field.find_first_of(",\"\n\r") == std::string::npos) return field;
+  std::string quoted = "\"";
+  for (const char c : field) {
+    if (c == '"') quoted += '"';
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
 
 namespace {
 
@@ -38,28 +57,6 @@ void write_file(const fs::path& path, const std::string& content) {
   if (!out) throw std::runtime_error("cannot write " + path.string());
 }
 
-// The full record of one executed cell; cells/<label>.json holds exactly
-// this, campaign.jsonl holds one compact line of it per cell.
-json::Value cell_document(const Campaign& campaign, const Cell& cell,
-                          const harness::ExperimentResult& result,
-                          double wall_ms, double events_per_sec) {
-  json::Value doc;
-  doc["schema_version"] = harness::kResultSchemaVersion;
-  doc["campaign"] = campaign.name;
-  doc["cell"] = cell.label;
-  // The scenario spec sits NEXT TO the config echo, not inside it: the
-  // strict config reader rejects unknown keys, and re-running a cell is
-  // config_from_json(doc["config"]) + ScenarioSpec::from_json(doc["scenario"]).
-  doc["config"] = harness::config_to_json(cell.config);
-  if (!cell.scenario.is_static()) {
-    doc["scenario"] = cell.scenario.to_json();
-  }
-  doc["result"] = harness::to_json(result);
-  doc["wall_ms"] = wall_ms;
-  doc["events_per_sec"] = events_per_sec;
-  return doc;
-}
-
 std::string csv_row(const Campaign& campaign, const Cell& cell,
                     const harness::ExperimentResult& result, double wall_ms,
                     double events_per_sec) {
@@ -68,10 +65,11 @@ std::string csv_row(const Campaign& campaign, const Cell& cell,
       cell.scenario.is_static() ? cell.config.topology : cell.scenario.kind;
   std::ostringstream row;
   auto num = [](double v) { return json::dump_number(v); };
-  row << campaign.name << ',' << cell.label << ',' << cell.config.params.n
-      << ',' << workload << ',' << cell.config.drift << ','
-      << cell.config.delay << ',' << cell.config.engine << ','
-      << cell.config.delivery << ',' << cell.config.seed << ','
+  row << csv_field(campaign.name) << ',' << csv_field(cell.label) << ','
+      << cell.config.params.n << ',' << csv_field(workload) << ','
+      << csv_field(cell.config.drift) << ',' << csv_field(cell.config.delay)
+      << ',' << csv_field(cell.config.engine) << ','
+      << csv_field(cell.config.delivery) << ',' << cell.config.seed << ','
       << num(cell.config.horizon) << ',' << num(cell.config.sample_dt) << ','
       << result.samples << ',' << num(result.max_global_skew) << ','
       << num(result.global_skew_bound) << ','
@@ -134,6 +132,44 @@ std::vector<std::string> audit_cell(const harness::ExperimentResult& result,
   return failures;
 }
 
+// Everything one worker produces for one cell.  Workers fill slots; the
+// calling thread commits them strictly in cell order, so campaign.csv,
+// campaign.jsonl, and the log are byte-identical whatever `jobs` is.
+struct CellExecution {
+  CellOutcome outcome;
+  std::string csv_line;    // empty if the cell errored
+  std::string jsonl_line;  // empty if the cell errored
+  std::exception_ptr fatal;  // artifact I/O failure; rethrown by the committer
+  bool done = false;         // guarded by the pool mutex
+};
+
+// Sanitized, collision-free file names for cells/, fixed before the pool
+// starts so workers never coordinate.  Labels from build_campaign are
+// already unique and filesystem-safe; hand-built Campaigns may not be.
+// Duplicate *labels* are rejected outright -- the documents embed the
+// label as the cell's identity (gcs_diff matches on it), so a campaign
+// with two cells of one label would write a tree no reader can use.
+// Distinct labels that merely sanitize to the same file name are fine
+// and get a collision suffix.
+std::vector<std::string> cell_file_names(const Campaign& campaign) {
+  std::set<std::string> labels;
+  for (const Cell& cell : campaign.cells) {
+    if (!labels.insert(cell.label).second) {
+      throw std::invalid_argument("campaign: duplicate cell label '" +
+                                  cell.label + "'");
+    }
+  }
+  std::vector<std::string> names;
+  names.reserve(campaign.cells.size());
+  std::set<std::string> used;
+  for (std::size_t i = 0; i < campaign.cells.size(); ++i) {
+    std::string name = sanitize_component(campaign.cells[i].label, "cell");
+    while (!used.insert(name).second) name += "-" + std::to_string(i);
+    names.push_back(name + ".json");
+  }
+  return names;
+}
+
 }  // namespace
 
 int run_campaign(const Campaign& campaign, const RunnerOptions& options,
@@ -151,6 +187,9 @@ int run_campaign(const Campaign& campaign, const RunnerOptions& options,
     return 0;
   }
 
+  // Validates labels and fixes file names before anything touches disk.
+  const std::vector<std::string> file_names = cell_file_names(campaign);
+
   const fs::path out_dir = options.out_dir.empty()
                                ? fs::path("results") / campaign.name
                                : fs::path(options.out_dir);
@@ -160,6 +199,98 @@ int run_campaign(const Campaign& campaign, const RunnerOptions& options,
   CampaignOutcome& out = outcome ? *outcome : local;
   out.out_dir = out_dir.string();
 
+  const std::size_t cell_count = campaign.cells.size();
+  std::vector<CellExecution> slots(cell_count);
+
+  // A worker runs one cell end to end: experiment, cell file, audit.  All
+  // state it touches is its own slot plus its own cells/<file>.json, so
+  // workers never contend; only the done flag needs the lock.
+  auto execute_cell = [&](std::size_t i) {
+    const Cell& cell = campaign.cells[i];
+    CellExecution& ex = slots[i];
+    ex.outcome.label = cell.label;
+
+    // A throwing cell (bad axis value, n < 2, ...) is recorded and the
+    // campaign keeps going: a red run must still leave a complete results
+    // tree for CI to upload.
+    const auto start = std::chrono::steady_clock::now();
+    try {
+      ex.outcome.result = harness::run_experiment(instantiate(cell));
+    } catch (const std::exception& e) {
+      ex.outcome.failures.push_back(std::string("failed to run: ") + e.what());
+      ex.outcome.errored = true;
+    }
+    ex.outcome.wall_ms = std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - start)
+                             .count();
+    if (ex.outcome.errored) return;
+
+    try {
+      const harness::ExperimentResult& result = ex.outcome.result;
+      const double wall_ms = options.fixed_timing ? 0.0 : ex.outcome.wall_ms;
+      const double events_per_sec =
+          options.fixed_timing
+              ? 0.0
+              : static_cast<double>(result.events_executed) /
+                    std::max(ex.outcome.wall_ms, 1e-3) * 1e3;
+      const json::Value spec_json =
+          cell.scenario.is_static() ? json::Value() : cell.scenario.to_json();
+      const json::Value doc = harness::cell_document(
+          campaign.name, cell.label, harness::config_to_json(cell.config),
+          cell.scenario.is_static() ? nullptr : &spec_json, result, wall_ms,
+          events_per_sec);
+      const fs::path cell_path = out_dir / "cells" / file_names[i];
+      write_file(cell_path, json::dump(doc, 2) + "\n");
+      ex.csv_line =
+          csv_row(campaign, cell, result, wall_ms, events_per_sec) + "\n";
+      ex.jsonl_line = json::dump(doc) + "\n";
+      ex.outcome.failures = audit_cell(result, cell_path);
+    } catch (...) {
+      ex.fatal = std::current_exception();
+    }
+  };
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::atomic<std::size_t> next_cell{0};
+  // Set by the committer before it rethrows a fatal artifact error, so
+  // workers stop claiming new cells instead of computing (and failing to
+  // write) the rest of a possibly huge campaign.
+  std::atomic<bool> cancelled{false};
+  const std::size_t jobs = std::min<std::size_t>(
+      std::max(options.jobs, 1), std::max<std::size_t>(cell_count, 1));
+
+  std::vector<std::thread> pool;
+  pool.reserve(jobs);
+  for (std::size_t w = 0; w < jobs; ++w) {
+    pool.emplace_back([&] {
+      for (;;) {
+        if (cancelled.load(std::memory_order_relaxed)) return;
+        const std::size_t i = next_cell.fetch_add(1);
+        if (i >= cell_count) return;
+        execute_cell(i);
+        {
+          const std::lock_guard<std::mutex> lock(mu);
+          slots[i].done = true;
+        }
+        cv.notify_all();
+      }
+    });
+  }
+  // Join even when the commit loop throws (a worker's fatal I/O error):
+  // workers only touch their own slots and stop at the next dispatch, so
+  // letting the in-flight cells finish is safe.
+  struct Joiner {
+    std::vector<std::thread>& pool;
+    std::atomic<bool>& cancelled;
+    ~Joiner() {
+      cancelled.store(true, std::memory_order_relaxed);
+      for (std::thread& t : pool) {
+        if (t.joinable()) t.join();
+      }
+    }
+  } joiner{pool, cancelled};
+
   std::string csv = std::string(kCsvHeader) + "\n";
   std::string jsonl;
   double max_global = 0.0;
@@ -167,60 +298,47 @@ int run_campaign(const Campaign& campaign, const RunnerOptions& options,
   double total_wall_ms = 0.0;
   std::uint64_t total_events = 0;
 
-  for (std::size_t i = 0; i < campaign.cells.size(); ++i) {
-    const Cell& cell = campaign.cells[i];
-    CellOutcome cell_out;
-    cell_out.label = cell.label;
-    bool ran = false;
+  // Commit strictly in cell order: wait for cell i, fold it into the
+  // artifacts, log it.  Workers may be many cells ahead; output order
+  // never shows that.
+  for (std::size_t i = 0; i < cell_count; ++i) {
+    {
+      std::unique_lock<std::mutex> lock(mu);
+      cv.wait(lock, [&] { return slots[i].done; });
+    }
+    CellExecution& ex = slots[i];
+    if (ex.fatal) std::rethrow_exception(ex.fatal);
 
-    // A throwing cell (bad axis value, n < 2, ...) is recorded and the
-    // campaign keeps going: a red run must still leave a complete results
-    // tree for CI to upload.
-    const auto start = std::chrono::steady_clock::now();
-    try {
-      cell_out.result = harness::run_experiment(instantiate(cell));
-      ran = true;
-    } catch (const std::exception& e) {
-      cell_out.failures.push_back(std::string("failed to run: ") + e.what());
+    const CellOutcome& cell_out = ex.outcome;
+    if (cell_out.errored) {
       ++out.errored_cells;
+    } else {
+      csv += ex.csv_line;
+      jsonl += ex.jsonl_line;
+      max_global = std::max(max_global, cell_out.result.max_global_skew);
+      max_local = std::max(max_local, cell_out.result.max_local_skew);
+      total_events += cell_out.result.events_executed;
+      if (!cell_out.failures.empty()) ++out.failed_cells;
     }
-    cell_out.wall_ms = std::chrono::duration<double, std::milli>(
-                           std::chrono::steady_clock::now() - start)
-                           .count();
-
-    if (ran) {
-      const harness::ExperimentResult& result = cell_out.result;
-      const double events_per_sec =
-          static_cast<double>(result.events_executed) /
-          std::max(cell_out.wall_ms, 1e-3) * 1e3;
-      const json::Value doc = cell_document(campaign, cell, result,
-                                            cell_out.wall_ms, events_per_sec);
-      const fs::path cell_path = out_dir / "cells" / (cell.label + ".json");
-      write_file(cell_path, json::dump(doc, 2) + "\n");
-      csv += csv_row(campaign, cell, result, cell_out.wall_ms,
-                     events_per_sec) +
-             "\n";
-      jsonl += json::dump(doc) + "\n";
-      cell_out.failures = audit_cell(result, cell_path);
-      max_global = std::max(max_global, result.max_global_skew);
-      max_local = std::max(max_local, result.max_local_skew);
-      total_events += result.events_executed;
-    }
-    if (!cell_out.failures.empty()) ++out.failed_cells;
     total_wall_ms += cell_out.wall_ms;
 
     if (!options.quiet) {
-      log << "[" << (i + 1) << "/" << campaign.cells.size() << "] "
-          << cell.label
-          << (!ran ? " ERROR" : cell_out.failures.empty() ? " ok" : " FAIL")
-          << " (" << json::dump_number(cell_out.wall_ms) << " ms, "
-          << cell_out.result.events_executed << " events, max skew "
-          << json::dump_number(cell_out.result.max_global_skew) << ")\n";
+      // An errored cell has no result; print only its timing, not the
+      // default-constructed zeros.
+      log << "[" << (i + 1) << "/" << cell_count << "] " << cell_out.label;
+      if (cell_out.errored) {
+        log << " ERROR (" << json::dump_number(cell_out.wall_ms) << " ms)\n";
+      } else {
+        log << (cell_out.failures.empty() ? " ok" : " FAIL") << " ("
+            << json::dump_number(cell_out.wall_ms) << " ms, "
+            << cell_out.result.events_executed << " events, max skew "
+            << json::dump_number(cell_out.result.max_global_skew) << ")\n";
+      }
     }
     for (const std::string& failure : cell_out.failures) {
-      log << "  check: " << cell.label << ": " << failure << "\n";
+      log << "  check: " << cell_out.label << ": " << failure << "\n";
     }
-    out.cells.push_back(std::move(cell_out));
+    out.cells.push_back(std::move(ex.outcome));
   }
 
   write_file(out_dir / "campaign.csv", csv);
@@ -235,12 +353,13 @@ int run_campaign(const Campaign& campaign, const RunnerOptions& options,
   summary["max_global_skew"] = max_global;
   summary["max_local_skew"] = max_local;
   summary["total_events"] = total_events;
-  summary["total_wall_ms"] = total_wall_ms;
+  summary["total_wall_ms"] = options.fixed_timing ? 0.0 : total_wall_ms;
   write_file(out_dir / "summary.json", json::dump(summary, 2) + "\n");
 
   log << campaign.name << ": " << out.cells.size() << " cell(s), "
-      << out.failed_cells << " failed, " << total_events << " events in "
-      << json::dump_number(total_wall_ms) << " ms -> " << out.out_dir << "\n";
+      << out.failed_cells << " failed, " << out.errored_cells << " errored, "
+      << total_events << " events in " << json::dump_number(total_wall_ms)
+      << " ms -> " << out.out_dir << "\n";
 
   // Cells that could not run at all are a broken campaign, not a physics
   // finding: they fail the run with or without --check.

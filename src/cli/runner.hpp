@@ -4,11 +4,22 @@
 // writes one results tree:
 //
 //   <out>/
-//     cells/<label>.json   per-cell document: config echo + result + timing
+//     cells/<file>.json    per-cell document: config echo + result + timing
+//                          (<file> is the sanitized cell label)
 //     campaign.csv         one row per cell (kCsvHeader; CI diffs this)
 //     campaign.jsonl       the per-cell documents again, one compact line
 //                          each, for jq-style slicing
 //     summary.json         campaign name, cell/failure counts, worst skews
+//
+// Cells are independent (each gets its own engine, clocks, and RNG
+// streams inside run_experiment), so with `jobs > 1` they execute on a
+// worker pool.  Determinism is preserved by construction: workers only
+// compute; all artifact bytes are committed in cell order by the calling
+// thread, so every output file is byte-identical to a jobs=1 run of the
+// same campaign.  Timing fields (wall_ms / events_per_sec, the only
+// nondeterministic outputs) can be pinned to zero with `fixed_timing`
+// when byte-comparable trees are wanted; tests/run_jobs_determinism.cmake
+// enforces the guarantee end to end.
 //
 // In check mode every cell is audited after it runs: bound violations,
 // monotonicity failures, engine clamps (reported with the first offending
@@ -34,6 +45,13 @@ struct RunnerOptions {
   bool check = false;   // audit cells; exit 1 on any failure
   bool quiet = false;   // suppress per-cell progress lines
   bool list_only = false;  // print expanded cells, run nothing
+  // Worker threads executing cells.  Values are clamped to
+  // [1, cells.size()]; every output byte is independent of this knob.
+  int jobs = 1;
+  // Write wall_ms / events_per_sec as 0 in every artifact (cell files,
+  // CSV, JSONL, summary) so two runs of the same campaign are
+  // byte-identical.  Progress lines still show real timing.
+  bool fixed_timing = false;
 };
 
 // The exact campaign.csv header line (no trailing newline).  The e2e test
@@ -41,18 +59,29 @@ struct RunnerOptions {
 // change (append, and bump harness::kResultSchemaVersion).
 extern const char kCsvHeader[];
 
+// RFC 4180 quoting: returns `field` unchanged unless it contains a comma,
+// quote, or newline, in which case it is wrapped in double quotes with
+// embedded quotes doubled.  Every string-valued CSV cell passes through
+// here so campaign names or axis values cannot corrupt campaign.csv.
+std::string csv_field(const std::string& field);
+
 struct CellOutcome {
   std::string label;
   harness::ExperimentResult result;  // default-initialized if the cell errored
   double wall_ms = 0.0;
-  std::vector<std::string> failures;  // empty -> cell passed the audit
+  bool errored = false;  // threw instead of running (bad config)
+  // Audit findings for a cell that ran; for an errored cell, the single
+  // "failed to run: ..." message.
+  std::vector<std::string> failures;
 };
 
 struct CampaignOutcome {
   std::vector<CellOutcome> cells;
-  std::size_t failed_cells = 0;   // audit failures + errored cells
-  std::size_t errored_cells = 0;  // threw instead of running (bad config)
-  std::string out_dir;            // resolved output directory
+  // Disjoint counters: a cell is either errored (it threw and produced no
+  // artifacts) or failed (it ran but its audit found violations/drift).
+  std::size_t failed_cells = 0;
+  std::size_t errored_cells = 0;
+  std::string out_dir;  // resolved output directory
 };
 
 // Runs (or lists) the campaign.  `log` receives progress and audit

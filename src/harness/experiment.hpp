@@ -54,6 +54,12 @@ struct ExperimentConfig {
   // options.batched_delivery the same way.
   std::string delivery = "batched";
 
+  // Samples fire at sample_dt, 2*sample_dt, ...; the engine executes
+  // events with t <= horizon under BOTH scheduler policies, so a sample
+  // landing exactly on the horizon fires and a run with
+  // horizon == k*sample_dt (exact in binary floating point) reports
+  // exactly k samples.  test_experiment.cpp (SampleAtHorizonBoundary...)
+  // pins this down so `samples` stays stable across engine refactors.
   double horizon = 100.0;
   double sample_dt = 1.0;
   // Master seed for the run: drives drift walks AND the simulator's

@@ -1,8 +1,14 @@
 #include "harness/serialize.hpp"
 
+#include <algorithm>
 #include <cstddef>
+#include <filesystem>
+#include <fstream>
 #include <set>
+#include <sstream>
+#include <stdexcept>
 #include <string>
+#include <vector>
 
 namespace gcs::harness {
 
@@ -150,6 +156,74 @@ ExperimentConfig config_from_json(const util::json::Value& doc) {
   if (const auto* v = doc.find("sample_dt")) config.sample_dt = v->as_number();
   if (const auto* v = doc.find("seed")) config.seed = v->as_u64();
   return config;
+}
+
+util::json::Value cell_document(const std::string& campaign,
+                                const std::string& cell_label,
+                                const util::json::Value& config,
+                                const util::json::Value* scenario,
+                                const ExperimentResult& result, double wall_ms,
+                                double events_per_sec) {
+  util::json::Value doc;
+  doc["schema_version"] = kResultSchemaVersion;
+  doc["campaign"] = campaign;
+  doc["cell"] = cell_label;
+  // The scenario spec sits NEXT TO the config echo, not inside it: the
+  // strict config reader rejects unknown keys, and re-running a cell is
+  // config_from_json(doc["config"]) + ScenarioSpec::from_json(doc["scenario"]).
+  doc["config"] = config;
+  if (scenario != nullptr) doc["scenario"] = *scenario;
+  doc["result"] = to_json(result);
+  doc["wall_ms"] = wall_ms;
+  doc["events_per_sec"] = events_per_sec;
+  return doc;
+}
+
+std::map<std::string, util::json::Value> load_cell_documents(
+    const std::string& tree_dir) {
+  namespace fs = std::filesystem;
+  const fs::path cells_dir = fs::path(tree_dir) / "cells";
+  if (!fs::is_directory(cells_dir)) {
+    throw std::runtime_error("not a results tree (no cells/ directory): " +
+                             tree_dir);
+  }
+  // Directory iteration order is platform-defined; sort so duplicate-label
+  // errors and any caller that iterates files are deterministic.
+  std::vector<fs::path> files;
+  for (const fs::directory_entry& entry : fs::directory_iterator(cells_dir)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".json") {
+      files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  if (files.empty()) {
+    throw std::runtime_error("results tree has no cells/*.json files: " +
+                             tree_dir);
+  }
+
+  std::map<std::string, util::json::Value> cells;
+  for (const fs::path& file : files) {
+    std::ifstream in(file, std::ios::binary);
+    if (!in) throw std::runtime_error("cannot read " + file.string());
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    util::json::Value doc;
+    try {
+      doc = util::json::parse(buf.str());
+    } catch (const std::exception& e) {
+      throw std::runtime_error(file.string() + ": " + e.what());
+    }
+    const util::json::Value* label = doc.find("cell");
+    if (label == nullptr || !label->is_string()) {
+      throw std::runtime_error(file.string() +
+                               ": cell document has no string \"cell\" label");
+    }
+    if (!cells.emplace(label->as_string(), std::move(doc)).second) {
+      throw std::runtime_error("duplicate cell label '" + label->as_string() +
+                               "' in " + tree_dir);
+    }
+  }
+  return cells;
 }
 
 }  // namespace gcs::harness

@@ -17,6 +17,9 @@
 #ifndef GCS_HARNESS_SERIALIZE_HPP
 #define GCS_HARNESS_SERIALIZE_HPP
 
+#include <map>
+#include <string>
+
 #include "harness/experiment.hpp"
 #include "util/json.hpp"
 
@@ -45,6 +48,28 @@ util::json::Value config_to_json(const ExperimentConfig& config);
 // Reads the same shape back; missing keys keep the ExperimentConfig
 // defaults, unknown keys throw (they are typos, not forward compat).
 ExperimentConfig config_from_json(const util::json::Value& doc);
+
+// The full per-cell campaign document (one cells/<file>.json, one line of
+// campaign.jsonl): the config echo, the optional scenario spec (null ->
+// omitted; the CLI layer passes its ScenarioSpec serialization), the
+// result, and wall-clock timing, all under "schema_version".  Writer and
+// tree loader live here so the document layout is versioned in one place
+// with the result schema it embeds.
+util::json::Value cell_document(const std::string& campaign,
+                                const std::string& cell_label,
+                                const util::json::Value& config,
+                                const util::json::Value* scenario,
+                                const ExperimentResult& result, double wall_ms,
+                                double events_per_sec);
+
+// Loads every cells/*.json under `tree_dir` (a gcs_run results tree),
+// keyed by each document's "cell" label.  Validation is shape-only -- a
+// parseable JSON object with a string "cell" -- so a diffing caller can
+// itself report schema-version or field drift instead of dying on the
+// first drifted file.  Throws std::runtime_error on a missing/empty
+// cells/ directory, an unparseable file, or a duplicate cell label.
+std::map<std::string, util::json::Value> load_cell_documents(
+    const std::string& tree_dir);
 
 }  // namespace gcs::harness
 

@@ -117,9 +117,14 @@ Scenario make_switching_star_scenario(std::size_t n, double period,
     }
     // ...then tear down the outgoing spokes `overlap` later, keeping the
     // (old_hub, new_hub) spoke, which now belongs to the incoming star.
+    // Horizon rule: a teardown that would land at or past the horizon is
+    // dropped (not clamped), so the final rotation's spokes simply stay
+    // live through the end of the run -- the scenario never schedules an
+    // event the simulation cannot reach.
     for (NodeId x = 0; x < static_cast<NodeId>(n); ++x) {
       if (x == old_hub || x == new_hub) continue;
       const Edge e(old_hub, x);
+      if (t + overlap >= horizon) continue;
       if (live.erase(e) > 0) {
         s.events.push_back(TopologyEvent{t + overlap, e, false});
       }

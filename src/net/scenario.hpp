@@ -15,6 +15,17 @@
 //  * mobility    -- random-waypoint motion in the unit square with a
 //                   radius-based connectivity graph, optionally unioned
 //                   with a static ring backbone to keep it connected.
+//
+// Horizon rule (all generators): every emitted TopologyEvent satisfies
+// t < horizon, and post-horizon dynamics are dropped rather than clamped
+// onto the horizon.  Whatever is live when the last event fires stays
+// live through the end of the run: a churn edge whose death would land at
+// or past the horizon stays up, and a rotating star whose teardown would
+// land past the horizon keeps its spokes.  This keeps scenario event
+// lists exactly coextensive with what a run_until(horizon) simulation can
+// execute -- no phantom events linger in the engine queue, and replaying
+// a scenario beyond its generation horizon is a caller error by contract.
+// test_properties.cpp (ScenarioHorizon) enforces the rule per generator.
 #ifndef GCS_NET_SCENARIO_HPP
 #define GCS_NET_SCENARIO_HPP
 

@@ -119,6 +119,22 @@ TEST(RunExperiment, EngineAndDeliveryKnobsAreTrajectoryNeutral) {
   }
 }
 
+TEST(RunExperiment, SampleAtHorizonBoundaryFiresUnderBothEngines) {
+  // The periodic sample scheduled exactly at t == horizon fires: the
+  // engine's run_until executes events with t <= horizon under both
+  // scheduler policies, so horizon == k*sample_dt (with both exact in
+  // binary floating point) yields exactly k samples.  Pinned so `samples`
+  // cannot drift across engine refactors.
+  for (const char* engine : {"calendar", "heap"}) {
+    auto cfg = small_config();
+    cfg.engine = engine;
+    cfg.horizon = 10.0;
+    cfg.sample_dt = 0.5;
+    const auto result = gcs::harness::run_experiment(cfg);
+    EXPECT_EQ(result.samples, 20u) << engine;  // t = 0.5, 1.0, ..., 10.0
+  }
+}
+
 TEST(RunExperiment, ReportsDeliveryEventStats) {
   auto cfg = small_config();
   cfg.topology = "complete";

@@ -155,4 +155,39 @@ INSTANTIATE_TEST_SUITE_P(
              std::to_string(std::get<1>(info.param));
     });
 
+// The scenario horizon rule (scenario.hpp): no generator emits an event
+// at or past its horizon; post-horizon dynamics are dropped, not clamped.
+// The switching star is the regression case -- teardowns land `overlap`
+// after a rotation, so a large overlap used to leak events past the
+// horizon.
+TEST(ScenarioHorizon, NoGeneratorEmitsEventsAtOrPastHorizon) {
+  const auto expect_within = [](const gcs::net::Scenario& s, double horizon) {
+    for (const gcs::net::TopologyEvent& ev : s.events) {
+      EXPECT_LT(ev.at, horizon) << s.name << " leaked an event past horizon";
+    }
+  };
+  for (const std::uint64_t seed : {1u, 2u, 3u}) {
+    Lcg rng(seed * 31 + 7);
+    const double horizon = rng.uniform(18.0, 45.0);
+    {
+      gcs::util::Rng gen(seed);
+      expect_within(gcs::net::make_churn_scenario(10, 5, /*lifetime=*/6.0,
+                                                  horizon, gen),
+                    horizon);
+    }
+    // overlap close to period maximizes teardown overhang past the final
+    // rotation.
+    expect_within(gcs::net::make_switching_star_scenario(
+                      8, /*period=*/10.0, /*overlap=*/9.5, horizon),
+                  horizon);
+    {
+      gcs::util::Rng gen(seed + 100);
+      expect_within(
+          gcs::net::make_mobility_scenario(9, 0.4, 0.01, 0.05, 1.0, horizon,
+                                           /*backbone=*/true, gen),
+          horizon);
+    }
+  }
+}
+
 }  // namespace

@@ -1,0 +1,204 @@
+// Unit tests for the campaign runner: the --jobs determinism guarantee
+// (in-process, on a small sweep; tests/run_jobs_determinism.cmake drives
+// the real binary on campaigns/churn.json), CSV quoting, filename
+// sanitization of hand-built labels, and the disjoint errored/failed
+// accounting.
+#include "cli/runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "cli/campaign.hpp"
+#include "util/json.hpp"
+
+namespace {
+
+namespace cli = gcs::cli;
+namespace fs = std::filesystem;
+namespace json = gcs::util::json;
+
+std::string read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in) << "cannot read " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+fs::path fresh_dir(const std::string& name) {
+  const fs::path dir = fs::path(::testing::TempDir()) / "gcs_runner" / name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+cli::Campaign small_campaign() {
+  return cli::build_campaign(
+      nullptr, {{"name", "unit"},
+                {"n", "6"},
+                {"topology", "ring"},
+                {"seeds", "1..4"},
+                {"horizon", "10"},
+                {"sample_dt", "0.5"}});
+}
+
+TEST(CsvField, QuotesOnlyWhenNeeded) {
+  EXPECT_EQ(cli::csv_field("plain-0.5_x"), "plain-0.5_x");
+  EXPECT_EQ(cli::csv_field("a,b"), "\"a,b\"");
+  EXPECT_EQ(cli::csv_field("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(cli::csv_field("two\nlines"), "\"two\nlines\"");
+  EXPECT_EQ(cli::csv_field(""), "");
+}
+
+TEST(Runner, ParallelRunIsByteIdenticalToSerial) {
+  const fs::path dir_a = fresh_dir("serial");
+  const fs::path dir_b = fresh_dir("parallel");
+  const cli::Campaign campaign = small_campaign();
+
+  cli::RunnerOptions options;
+  options.quiet = true;
+  options.fixed_timing = true;  // timing is the only nondeterministic output
+  std::ostringstream log_a;
+  std::ostringstream log_b;
+
+  options.jobs = 1;
+  options.out_dir = dir_a.string();
+  ASSERT_EQ(cli::run_campaign(campaign, options, log_a), 0);
+  options.jobs = 3;
+  options.out_dir = dir_b.string();
+  ASSERT_EQ(cli::run_campaign(campaign, options, log_b), 0);
+
+  for (const char* artifact : {"campaign.csv", "campaign.jsonl",
+                               "summary.json"}) {
+    EXPECT_EQ(read_file(dir_a / artifact), read_file(dir_b / artifact))
+        << artifact;
+  }
+  std::size_t cells_compared = 0;
+  for (const auto& entry : fs::directory_iterator(dir_a / "cells")) {
+    const fs::path other = dir_b / "cells" / entry.path().filename();
+    ASSERT_TRUE(fs::exists(other)) << other;
+    EXPECT_EQ(read_file(entry.path()), read_file(other))
+        << entry.path().filename();
+    ++cells_compared;
+  }
+  EXPECT_EQ(cells_compared, campaign.cells.size());
+  // The quiet log carries only the summary line; both runs agree on
+  // everything but wall time, which the summary line reports, so compare
+  // the cell/failure counters prefix.
+  EXPECT_EQ(log_a.str().substr(0, log_a.str().find(" events in")),
+            log_b.str().substr(0, log_b.str().find(" events in")));
+}
+
+TEST(Runner, ErroredCellsAreDisjointFromFailedAndLogTimingOnly) {
+  const fs::path dir = fresh_dir("errored");
+  // n=1 makes run_experiment throw; n=6 runs clean.
+  const cli::Campaign campaign = cli::build_campaign(
+      nullptr, {{"name", "err"}, {"n", "1,6"}, {"topology", "ring"},
+                {"horizon", "5"}});
+  ASSERT_EQ(campaign.cells.size(), 2u);
+
+  cli::RunnerOptions options;
+  options.out_dir = dir.string();
+  std::ostringstream log;
+  cli::CampaignOutcome outcome;
+  // An errored cell fails the run even without --check...
+  EXPECT_EQ(cli::run_campaign(campaign, options, log, &outcome), 1);
+  // ...but the counters stay disjoint: it is errored, not "failed".
+  EXPECT_EQ(outcome.errored_cells, 1u);
+  EXPECT_EQ(outcome.failed_cells, 0u);
+  ASSERT_EQ(outcome.cells.size(), 2u);
+  EXPECT_TRUE(outcome.cells[0].errored);
+  EXPECT_FALSE(outcome.cells[1].errored);
+
+  // The ERROR progress line prints timing only -- no "0 events, max skew
+  // 0" from a default-constructed result.
+  const std::string text = log.str();
+  const std::size_t error_line = text.find(" ERROR (");
+  ASSERT_NE(error_line, std::string::npos) << text;
+  const std::size_t eol = text.find('\n', error_line);
+  const std::string line = text.substr(error_line, eol - error_line);
+  EXPECT_EQ(line.find("events"), std::string::npos) << line;
+  EXPECT_EQ(line.find("skew"), std::string::npos) << line;
+  EXPECT_NE(line.find("ms)"), std::string::npos) << line;
+
+  // summary.json reports the disjoint counters.
+  const json::Value summary = json::parse(read_file(dir / "summary.json"));
+  EXPECT_EQ(summary.at("errored_cells").as_u64(), 1u);
+  EXPECT_EQ(summary.at("failed_cells").as_u64(), 0u);
+  EXPECT_EQ(summary.at("cells").as_u64(), 2u);
+
+  // The errored cell leaves no artifacts: one CSV row, one JSONL line,
+  // one cell file.
+  const std::string csv = read_file(dir / "campaign.csv");
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 2);  // header + 1 row
+}
+
+TEST(Runner, HandBuiltLabelsAreSanitizedAndCsvQuoted) {
+  const fs::path dir = fresh_dir("weird-labels");
+  // run_campaign accepts hand-built Campaigns whose labels and name never
+  // went through build_campaign's sanitizer.
+  cli::Campaign campaign = small_campaign();
+  campaign.cells.resize(2);
+  campaign.name = "evil,name";
+  campaign.cells[0].label = "a/b,c";    // '/' would escape cells/
+  campaign.cells[1].label = "a-b-c";    // collides with cell 0 post-sanitize
+  cli::RunnerOptions options;
+  options.quiet = true;
+  options.out_dir = dir.string();
+  std::ostringstream log;
+  ASSERT_EQ(cli::run_campaign(campaign, options, log), 0);
+
+  // Filenames: sanitized, collision-resolved, nothing escaped cells/.
+  EXPECT_TRUE(fs::exists(dir / "cells" / "a-b-c.json"));
+  EXPECT_TRUE(fs::exists(dir / "cells" / "a-b-c-1.json"));
+
+  // CSV: the raw label and campaign name survive inside quotes; the row
+  // still has the header's column count when parsed with quote-awareness.
+  const std::string csv = read_file(dir / "campaign.csv");
+  EXPECT_NE(csv.find("\"evil,name\",\"a/b,c\","), std::string::npos) << csv;
+
+  // The cell documents keep the raw (unsanitized) label, which is what
+  // gcs_diff matches on.
+  const json::Value doc =
+      json::parse(read_file(dir / "cells" / "a-b-c.json"));
+  EXPECT_EQ(doc.at("cell").as_string(), "a/b,c");
+  EXPECT_EQ(doc.at("campaign").as_string(), "evil,name");
+}
+
+TEST(Runner, DuplicateLabelsAreRejectedBeforeRunning) {
+  // Two cells with one label would write a tree whose documents share an
+  // identity -- gcs_diff could never tell them apart -- so the runner
+  // refuses up front, before touching the output directory.
+  const fs::path dir = fresh_dir("dup-labels");
+  cli::Campaign campaign = small_campaign();
+  campaign.cells.resize(2);
+  campaign.cells[1].label = campaign.cells[0].label;
+  cli::RunnerOptions options;
+  options.quiet = true;
+  options.out_dir = (dir / "tree").string();
+  std::ostringstream log;
+  EXPECT_THROW(cli::run_campaign(campaign, options, log),
+               std::invalid_argument);
+  EXPECT_FALSE(fs::exists(dir / "tree"));
+}
+
+TEST(Runner, JobsAboveCellCountIsSafe) {
+  const fs::path dir = fresh_dir("overprovisioned");
+  cli::Campaign campaign = small_campaign();
+  campaign.cells.resize(2);
+  cli::RunnerOptions options;
+  options.quiet = true;
+  options.jobs = 64;  // clamped to the cell count
+  options.out_dir = dir.string();
+  std::ostringstream log;
+  EXPECT_EQ(cli::run_campaign(campaign, options, log), 0);
+  EXPECT_TRUE(fs::exists(dir / "campaign.csv"));
+}
+
+}  // namespace

@@ -8,6 +8,7 @@
 // src/cli/campaign.hpp); flags overlay the file.  Exit codes: 0 success,
 // 1 check failures (bound violations, clamps, schema drift), 2 bad usage
 // or malformed campaign.
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -27,8 +28,12 @@ usage: gcs_run [--campaign FILE] [--key=value ...] [options]
 options:
   --campaign FILE   campaign JSON ({name, defaults, sweep}); flags overlay it
   --out DIR         results directory (default: results/<campaign-name>)
+  --jobs N          run cells on N worker threads (cells are independent;
+                    every output file is byte-identical to --jobs 1)
   --check           audit every cell (bound violations, engine clamps,
                     result-schema round-trip) and exit 1 on any failure
+  --fixed-timing    write wall_ms/events_per_sec as 0 in all artifacts so
+                    two runs of one campaign are byte-comparable
   --list            print the expanded cells and run nothing
   --quiet           suppress per-cell progress lines
   --help            this text
@@ -42,6 +47,7 @@ sweepable keys (comma lists and integer ranges a..b become axes):
 
 examples:
   gcs_run --campaign campaigns/smoke.json --check
+  gcs_run --campaign campaigns/churn.json --jobs 4 --check
   gcs_run --n=8,16,32 --topology=ring,complete --seeds=1..5
   gcs_run --campaign campaigns/churn.json --horizon=120 --out /tmp/churn
 )";
@@ -71,17 +77,22 @@ int main(int argc, char** argv) {
       options.quiet = true;
       continue;
     }
+    if (arg == "--fixed-timing") {
+      options.fixed_timing = true;
+      continue;
+    }
     if (arg.rfind("--", 0) != 0) {
       std::cerr << "gcs_run: unexpected argument '" << arg << "'\n" << kUsage;
       return 2;
     }
-    // --key=value, or --key value for the two path-valued options.
+    // --key=value, or --key value for the runner's own valued options.
     std::string key = arg.substr(2);
     std::string value;
     if (const std::size_t eq = key.find('='); eq != std::string::npos) {
       value = key.substr(eq + 1);
       key = key.substr(0, eq);
-    } else if ((key == "campaign" || key == "out") && i + 1 < argc) {
+    } else if ((key == "campaign" || key == "out" || key == "jobs") &&
+               i + 1 < argc) {
       value = argv[++i];
     } else {
       std::cerr << "gcs_run: option --" << key << " needs a value\n";
@@ -91,6 +102,16 @@ int main(int argc, char** argv) {
       campaign_file = value;
     } else if (key == "out") {
       options.out_dir = value;
+    } else if (key == "jobs") {
+      char* end = nullptr;
+      const long jobs = std::strtol(value.c_str(), &end, 10);
+      if (value.empty() || end != value.c_str() + value.size() || jobs < 1 ||
+          jobs > 1024) {
+        std::cerr << "gcs_run: --jobs wants an integer in [1, 1024], got '"
+                  << value << "'\n";
+        return 2;
+      }
+      options.jobs = static_cast<int>(jobs);
     } else {
       overrides[key] = value;
     }
