@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Checks that relative markdown links resolve to real files.
+
+Usage: check_md_links.py FILE.md [FILE.md ...]
+
+Every inline link or image target [text](target) in each file is
+checked: http(s)/mailto targets and pure #anchors are skipped, anything
+else must exist on disk relative to the markdown file's directory (a
+trailing #fragment is ignored).  Exit 1 listing every broken link, so
+the CI docs job fails when the handbook or README rots.
+"""
+import os
+import re
+import sys
+
+# Inline links/images; deliberately simple -- no reference-style links
+# are used in this repo, and fenced code blocks are filtered out below.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)\)")
+FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def targets(path):
+    in_fence = False
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            if FENCE_RE.match(line.strip()):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            yield from LINK_RE.findall(line)
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    broken = []
+    checked = 0
+    for md in argv[1:]:
+        base = os.path.dirname(os.path.abspath(md))
+        for target in targets(md):
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            checked += 1
+            rel = target.split("#", 1)[0]
+            if not os.path.exists(os.path.join(base, rel)):
+                broken.append(f"{md}: broken link -> {target}")
+    for line in broken:
+        print(line, file=sys.stderr)
+    print(f"{checked} relative link(s) checked, {len(broken)} broken")
+    return 1 if broken else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "harness/serialize.hpp"
+#include "net/trace.hpp"
 #include "util/rng.hpp"
 
 namespace gcs::cli {
@@ -25,10 +26,21 @@ const std::set<std::string>& knobs_for(const std::string& kind) {
   static const std::set<std::string> kChurn = {"volatile_edges", "lifetime"};
   static const std::set<std::string> kStar = {"period", "overlap"};
   static const std::set<std::string> kMobility = {
-      "radius", "speed_min", "speed_max", "update_dt", "backbone"};
+      "radius", "speed_min", "speed_max", "update_dt", "backbone",
+      "connect_window"};
+  static const std::set<std::string> kGaussMarkov = {
+      "radius",    "mean_speed", "alpha",    "speed_sigma",
+      "dir_sigma", "update_dt",  "backbone", "connect_window"};
+  static const std::set<std::string> kGroup = {
+      "groups",    "radius",    "group_radius",   "speed_min", "speed_max",
+      "update_dt", "switch_prob", "backbone", "connect_window"};
+  static const std::set<std::string> kTrace = {"path", "connect_window"};
   if (kind == "churn") return kChurn;
   if (kind == "switching-star") return kStar;
   if (kind == "mobility") return kMobility;
+  if (kind == "gauss-markov") return kGaussMarkov;
+  if (kind == "group") return kGroup;
+  if (kind == "trace") return kTrace;
   fail("unknown scenario kind '" + kind + "'");
 }
 
@@ -58,6 +70,29 @@ json::Value ScenarioSpec::to_json() const {
     v["speed_max"] = speed_max;
     v["update_dt"] = update_dt;
     v["backbone"] = backbone;
+    v["connect_window"] = connect_window;
+  } else if (kind == "gauss-markov") {
+    v["radius"] = radius;
+    v["mean_speed"] = mean_speed;
+    v["alpha"] = alpha;
+    v["speed_sigma"] = speed_sigma;
+    v["dir_sigma"] = dir_sigma;
+    v["update_dt"] = update_dt;
+    v["backbone"] = backbone;
+    v["connect_window"] = connect_window;
+  } else if (kind == "group") {
+    v["groups"] = static_cast<std::uint64_t>(groups);
+    v["radius"] = radius;
+    v["group_radius"] = group_radius;
+    v["speed_min"] = speed_min;
+    v["speed_max"] = speed_max;
+    v["update_dt"] = update_dt;
+    v["switch_prob"] = switch_prob;
+    v["backbone"] = backbone;
+    v["connect_window"] = connect_window;
+  } else if (kind == "trace") {
+    v["path"] = path;
+    v["connect_window"] = connect_window;
   }
   return v;
 }
@@ -89,7 +124,28 @@ ScenarioSpec ScenarioSpec::from_json(const json::Value& doc) {
       spec.update_dt = value.as_number();
     } else if (key == "backbone") {
       spec.backbone = value.as_bool();
+    } else if (key == "mean_speed") {
+      spec.mean_speed = value.as_number();
+    } else if (key == "alpha") {
+      spec.alpha = value.as_number();
+    } else if (key == "speed_sigma") {
+      spec.speed_sigma = value.as_number();
+    } else if (key == "dir_sigma") {
+      spec.dir_sigma = value.as_number();
+    } else if (key == "groups") {
+      spec.groups = static_cast<std::size_t>(value.as_u64());
+    } else if (key == "group_radius") {
+      spec.group_radius = value.as_number();
+    } else if (key == "switch_prob") {
+      spec.switch_prob = value.as_number();
+    } else if (key == "path") {
+      spec.path = value.as_string();
+    } else if (key == "connect_window") {
+      spec.connect_window = value.as_number();
     }
+  }
+  if (spec.kind == "trace" && spec.path.empty()) {
+    fail("trace scenario needs path=<file.csv|file.json>");
   }
   return spec;
 }
@@ -110,13 +166,21 @@ ScenarioSpec ScenarioSpec::from_flag(const std::string& spec) {
     }
     const std::string key = part.substr(0, eq);
     const std::string value = part.substr(eq + 1);
+    if (value.empty()) {
+      fail("bad scenario flag segment '" + part + "' (empty value)");
+    }
     if (value == "true" || value == "false") {
       doc[key] = (value == "true");
+    } else if (key == "path") {
+      // The one string knob; every other knob is numeric or boolean, so
+      // a non-numeric value there keeps the targeted error below.
+      doc[key] = value;
     } else {
       char* end = nullptr;
       const double num = std::strtod(value.c_str(), &end);
-      if (end != value.c_str() + value.size() || value.empty()) {
-        fail("bad scenario knob value '" + value + "'");
+      if (end != value.c_str() + value.size()) {
+        fail("bad scenario knob value '" + value + "' for knob '" + key +
+             "'");
       }
       doc[key] = num;
     }
@@ -127,18 +191,33 @@ ScenarioSpec ScenarioSpec::from_flag(const std::string& spec) {
 net::Scenario ScenarioSpec::build(std::size_t n, double horizon,
                                   std::uint64_t seed) const {
   util::Rng rng(mix_seed(seed));
+  net::Scenario scenario;
   if (kind == "churn") {
-    return net::make_churn_scenario(n, volatile_edges, lifetime, horizon, rng);
+    scenario = net::make_churn_scenario(n, volatile_edges, lifetime, horizon,
+                                        rng);
+  } else if (kind == "switching-star") {
+    scenario = net::make_switching_star_scenario(n, period, overlap, horizon);
+  } else if (kind == "mobility") {
+    scenario = net::make_mobility_scenario(n, radius, speed_min, speed_max,
+                                           update_dt, horizon, backbone, rng);
+  } else if (kind == "gauss-markov") {
+    scenario = net::make_gauss_markov_scenario(n, radius, mean_speed, alpha,
+                                               speed_sigma, dir_sigma,
+                                               update_dt, horizon, backbone,
+                                               rng);
+  } else if (kind == "group") {
+    scenario = net::make_group_scenario(n, groups, radius, group_radius,
+                                        speed_min, speed_max, update_dt,
+                                        switch_prob, horizon, backbone, rng);
+  } else if (kind == "trace") {
+    scenario = net::make_trace_scenario(net::load_contact_trace(path), horizon);
+  } else {
+    fail("a static spec has no generator (kind is empty)");
   }
-  if (kind == "switching-star") {
-    return net::make_switching_star_scenario(n, period, overlap, horizon);
+  if (connect_window > 0.0) {
+    net::enforce_interval_connectivity(scenario, connect_window, horizon);
   }
-  if (kind == "mobility") {
-    return net::make_mobility_scenario(n, radius, speed_min, speed_max,
-                                       update_dt, horizon, /*backbone=*/
-                                       backbone, rng);
-  }
-  fail("a static spec has no generator (kind is empty)");
+  return scenario;
 }
 
 harness::ExperimentConfig instantiate(const Cell& cell) {

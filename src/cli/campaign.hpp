@@ -40,23 +40,45 @@
 namespace gcs::cli {
 
 // A dynamic-workload generator spec: the declarative face of
-// net::make_*_scenario.  Unlike a baked net::Scenario, a spec is
-// re-instantiated per cell, so one spec sweeps cleanly across n, horizon,
-// and seed.  An empty kind means "static topology from config.topology".
+// net::make_*_scenario and the trace loader.  Unlike a baked
+// net::Scenario, a spec is re-instantiated per cell, so one spec sweeps
+// cleanly across n, horizon, and seed.  An empty kind means "static
+// topology from config.topology".
 struct ScenarioSpec {
-  std::string kind;  // "" | "churn" | "switching-star" | "mobility"
+  // "" | "churn" | "switching-star" | "mobility" | "gauss-markov" |
+  // "group" | "trace"
+  std::string kind;
   // churn
   std::size_t volatile_edges = 6;
   double lifetime = 10.0;
   // switching-star
   double period = 10.0;
   double overlap = 1.0;
-  // mobility
+  // mobility-style kinds (mobility, gauss-markov, group)
   double radius = 0.35;
   double speed_min = 0.01;
   double speed_max = 0.05;
   double update_dt = 1.0;
   bool backbone = true;
+  // gauss-markov
+  double mean_speed = 0.03;
+  double alpha = 0.75;
+  double speed_sigma = 0.01;
+  double dir_sigma = 0.5;
+  // group
+  std::size_t groups = 3;
+  double group_radius = 0.12;
+  double switch_prob = 0.02;
+  // trace: path to a .csv/.json contact trace (net/trace.hpp formats),
+  // resolved against the process working directory.  The trace's node
+  // count must match the cell's n (run_experiment checks).
+  std::string path;
+  // When > 0, the built scenario is post-processed with
+  // net::enforce_interval_connectivity(scenario, connect_window, horizon):
+  // rotating connector edges guarantee every full connect_window-length
+  // window a connected snapshot union with no static backbone.  Available
+  // on mobility, gauss-markov, group, and trace.
+  double connect_window = 0.0;
 
   bool is_static() const { return kind.empty(); }
 

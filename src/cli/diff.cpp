@@ -33,7 +33,8 @@ bool is_float_field(const std::string& key) {
       "rho", "T", "D", "delta_h", "B0", "horizon", "sample_dt",
       // scenario spec knobs
       "lifetime", "period", "overlap", "radius", "speed_min", "speed_max",
-      "update_dt"};
+      "update_dt", "mean_speed", "alpha", "speed_sigma", "dir_sigma",
+      "group_radius", "switch_prob", "connect_window"};
   return kFloatKeys.count(key) > 0;
 }
 

@@ -103,6 +103,14 @@ std::vector<std::string> audit_cell(const harness::ExperimentResult& result,
         std::to_string(result.run_stats.conformance_monotonicity_failures) +
         " time(s)");
   }
+  if (result.run_stats.connectivity_windows_disconnected > 0) {
+    failures.push_back(
+        "(T+D)-interval connectivity violated: " +
+        std::to_string(result.run_stats.connectivity_windows_disconnected) +
+        " of " +
+        std::to_string(result.run_stats.connectivity_windows_checked) +
+        " window(s) had a disconnected snapshot union");
+  }
   if (result.clamped_events > 0) {
     failures.push_back(
         "engine clamped " + std::to_string(result.clamped_events) +

@@ -68,6 +68,14 @@ struct RunStats {
   // only when engine_clamped_count() > 0 (0/0 otherwise).
   double first_clamped_time = 0.0;
   std::uint64_t first_clamped_seq = 0;
+  // (T+D)-interval-connectivity audit over the topology schedule (the
+  // same window/union semantics as net::audit_interval_connectivity),
+  // advanced incrementally to [0, now) after each run_until.  The
+  // paper's guarantees assume every full window has a connected snapshot
+  // union, so a nonzero disconnected count means the workload broke the
+  // standing assumption -- gcs_run --check fails the cell.
+  std::uint64_t connectivity_windows_checked = 0;
+  std::uint64_t connectivity_windows_disconnected = 0;
 };
 
 class NetworkSimulation {
@@ -137,6 +145,11 @@ class NetworkSimulation {
   net::DelayModel delay_;
   SimOptions options_;
   util::Rng rng_;
+  // Incremental interval-connectivity cursor over the schedule's
+  // (T+D)-windows (owns its own copy of the schedule): each run_until
+  // sweeps only the windows newly completed since the previous call, so
+  // repeated incremental runs cost one pass total, not one per call.
+  net::SnapshotUnionSweep audit_sweep_;
 
   sim::Engine engine_;
   std::vector<clk::HardwareClock> clocks_;

@@ -43,6 +43,9 @@ util::json::Value to_json(const core::RunStats& stats) {
       stats.conformance_monotonicity_failures;
   v["first_clamped_time"] = stats.first_clamped_time;
   v["first_clamped_seq"] = stats.first_clamped_seq;
+  v["connectivity_windows_checked"] = stats.connectivity_windows_checked;
+  v["connectivity_windows_disconnected"] =
+      stats.connectivity_windows_disconnected;
   return v;
 }
 
@@ -62,6 +65,10 @@ core::RunStats run_stats_from_json(const util::json::Value& doc) {
       req_u64(doc, "conformance_monotonicity_failures");
   stats.first_clamped_time = req_num(doc, "first_clamped_time");
   stats.first_clamped_seq = req_u64(doc, "first_clamped_seq");
+  stats.connectivity_windows_checked =
+      req_u64(doc, "connectivity_windows_checked");
+  stats.connectivity_windows_disconnected =
+      req_u64(doc, "connectivity_windows_disconnected");
   return stats;
 }
 

@@ -28,7 +28,9 @@ namespace gcs::harness {
 // Bump on ANY change to the result document layout.  History:
 //   1 -- initial schema (PR 3): result fields + run_stats subobject
 //        including the first-clamped (time, seq) audit pair.
-inline constexpr int kResultSchemaVersion = 1;
+//   2 -- run_stats gains the (T+D)-interval-connectivity audit pair
+//        connectivity_windows_checked / connectivity_windows_disconnected.
+inline constexpr int kResultSchemaVersion = 2;
 
 util::json::Value to_json(const core::RunStats& stats);
 core::RunStats run_stats_from_json(const util::json::Value& doc);

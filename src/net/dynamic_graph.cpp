@@ -44,4 +44,56 @@ bool DynamicGraph::connected_at(sim::Time t) const {
   return is_connected(n_, edges_at(t));
 }
 
+SnapshotUnionSweep::SnapshotUnionSweep(std::vector<Edge> initial_edges,
+                                       std::vector<TopologyEvent> events,
+                                       double window)
+    : events_(std::move(events)),
+      live_(initial_edges.begin(), initial_edges.end()),
+      width_(window) {}
+
+bool SnapshotUnionSweep::next(double horizon) {
+  if (width_ <= 0.0) return false;  // zero-width windows would never end
+  const double end = static_cast<double>(window_count_ + 1) * width_;
+  if (end > horizon) return false;
+  union_ = live_;
+  while (event_index_ < events_.size() && events_[event_index_].at < end) {
+    const TopologyEvent& ev = events_[event_index_];
+    if (ev.add) {
+      live_.insert(ev.edge);
+      union_.insert(ev.edge);
+    } else {
+      live_.erase(ev.edge);
+    }
+    ++event_index_;
+  }
+  ++window_count_;
+  return true;
+}
+
+std::set<Edge> SnapshotUnionSweep::adds_at(double t) const {
+  std::set<Edge> adds;
+  for (std::size_t i = event_index_;
+       i < events_.size() && events_[i].at <= t; ++i) {
+    if (events_[i].at == t && events_[i].add) adds.insert(events_[i].edge);
+  }
+  return adds;
+}
+
+ConnectivityAudit audit_interval_connectivity(const DynamicGraph& graph,
+                                              double window, double horizon) {
+  if (window <= 0.0) {
+    throw std::invalid_argument("audit_interval_connectivity: window <= 0");
+  }
+  ConnectivityAudit audit;
+  SnapshotUnionSweep sweep(graph.initial_edges(), graph.events(), window);
+  while (sweep.next(horizon)) {
+    ++audit.windows_checked;
+    const std::set<Edge>& u = sweep.window_union();
+    if (!is_connected(graph.n(), std::vector<Edge>(u.begin(), u.end()))) {
+      ++audit.windows_disconnected;
+    }
+  }
+  return audit;
+}
+
 }  // namespace gcs::net

@@ -6,11 +6,14 @@
 // schedule of one adversary: an initial edge set plus a time-sorted list
 // of TopologyEvents.  NetworkSimulation drives the events through the
 // event engine; the replay helpers here (edges_at / connected_at) exist
-// for tests and offline analysis.
+// for tests and offline analysis, and audit_interval_connectivity checks
+// the paper's standing assumption over a whole schedule.
 #ifndef GCS_NET_DYNAMIC_GRAPH_HPP
 #define GCS_NET_DYNAMIC_GRAPH_HPP
 
 #include <cstddef>
+#include <cstdint>
+#include <set>
 #include <vector>
 
 #include "net/topology.hpp"
@@ -45,6 +48,63 @@ class DynamicGraph {
   std::vector<Edge> initial_edges_;
   std::vector<TopologyEvent> events_;
 };
+
+struct ConnectivityAudit {
+  std::uint64_t windows_checked = 0;
+  std::uint64_t windows_disconnected = 0;
+};
+
+// Shared window-replay machinery for the interval-connectivity audit and
+// enforcer: sweeps the contiguous windows [k*window, (k+1)*window) of a
+// schedule, maintaining the live edge set and each window's snapshot
+// union (the live set entering the window plus every edge added inside
+// it; events at a boundary instant belong to the later window, so an
+// edge torn down exactly at a window's start still counts in its union).
+// The one-shot audit, the enforcer, and NetworkSimulation's incremental
+// per-run_until audit all advance one of these, so the boundary
+// semantics live in exactly one place.
+class SnapshotUnionSweep {
+ public:
+  // `events` must already be stably time-sorted (DynamicGraph's order).
+  SnapshotUnionSweep(std::vector<Edge> initial_edges,
+                     std::vector<TopologyEvent> events, double window);
+
+  // Advances to the next full window ending at or before `horizon`;
+  // false (state unchanged) when that window is not complete yet.  The
+  // cursor only moves forward, so interleaving calls with growing
+  // horizons sweeps each window exactly once.
+  bool next(double horizon);
+
+  // Valid after a true next():
+  std::size_t window_index() const { return window_count_ - 1; }
+  double window_start() const { return static_cast<double>(window_index()) * width_; }
+  double window_end() const { return static_cast<double>(window_count_) * width_; }
+  const std::set<Edge>& window_union() const { return union_; }
+  // Edges the schedule adds at exactly time `t >= window_end()`, scanned
+  // forward from the cursor -- the enforcer's boundary-collision set.
+  std::set<Edge> adds_at(double t) const;
+
+ private:
+  std::vector<TopologyEvent> events_;
+  std::set<Edge> live_;
+  std::set<Edge> union_;
+  double width_;
+  std::size_t window_count_ = 0;  // full windows swept so far
+  std::size_t event_index_ = 0;
+};
+
+// The paper's standing assumption, checked over a whole schedule: for
+// every full window [k*window, (k+1)*window) with (k+1)*window <= horizon,
+// the union of the live-edge snapshots over the window must span a
+// connected graph.  The union of window k is the live set entering the
+// window plus every edge added during it; an edge torn down exactly at the
+// window's start instant still counts (it was live at that instant).
+// Partial trailing windows are not checked.  NetworkSimulation runs this
+// audit with window = T + D after every run_until and reports the pair in
+// RunStats; enforce_interval_connectivity (net/scenario.hpp) patches a
+// scenario so this audit reports zero disconnected windows.
+ConnectivityAudit audit_interval_connectivity(const DynamicGraph& graph,
+                                              double window, double horizon);
 
 }  // namespace gcs::net
 

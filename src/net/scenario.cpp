@@ -31,6 +31,55 @@ Edge draw_fresh_edge(std::size_t n, const std::set<Edge>& backbone,
   throw std::runtime_error("draw_fresh_edge: graph too dense to churn");
 }
 
+// Shared machinery of the mobility-style generators (random-waypoint,
+// Gauss-Markov, group): a radius graph over planar positions, diffed into
+// topology events every update, optionally unioned with a ring backbone.
+
+std::set<Edge> ring_backbone(std::size_t n, bool enabled) {
+  std::set<Edge> edges;
+  if (enabled) {
+    const Topology ring = make_ring(n);
+    edges.insert(ring.edges().begin(), ring.edges().end());
+  }
+  return edges;
+}
+
+std::set<Edge> radius_edges(const std::vector<double>& x,
+                            const std::vector<double>& y, double radius) {
+  std::set<Edge> edges;
+  const std::size_t n = x.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (std::hypot(x[i] - x[j], y[i] - y[j]) <= radius) {
+        edges.insert(Edge(static_cast<NodeId>(i), static_cast<NodeId>(j)));
+      }
+    }
+  }
+  return edges;
+}
+
+void diff_radio_edges(const std::set<Edge>& prev, const std::set<Edge>& cur,
+                      const std::set<Edge>& backbone, double t,
+                      std::vector<TopologyEvent>& events) {
+  for (const Edge& e : cur) {
+    if (!prev.count(e) && !backbone.count(e)) {
+      events.push_back(TopologyEvent{t, e, true});
+    }
+  }
+  for (const Edge& e : prev) {
+    if (!cur.count(e) && !backbone.count(e)) {
+      events.push_back(TopologyEvent{t, e, false});
+    }
+  }
+}
+
+std::vector<Edge> union_with_backbone(const std::set<Edge>& radio,
+                                      const std::set<Edge>& backbone) {
+  std::set<Edge> initial = radio;
+  initial.insert(backbone.begin(), backbone.end());
+  return std::vector<Edge>(initial.begin(), initial.end());
+}
+
 }  // namespace
 
 Scenario make_churn_scenario(std::size_t n, std::size_t volatile_edges,
@@ -145,12 +194,7 @@ Scenario make_mobility_scenario(std::size_t n, double radius, double speed_min,
   Scenario s;
   s.name = "mobility";
   s.n = n;
-
-  std::set<Edge> backbone_edges;
-  if (backbone) {
-    const Topology ring = make_ring(n);
-    backbone_edges.insert(ring.edges().begin(), ring.edges().end());
-  }
+  const std::set<Edge> backbone_edges = ring_backbone(n, backbone);
 
   struct Mote {
     double x, y;        // position
@@ -166,26 +210,17 @@ Scenario make_mobility_scenario(std::size_t n, double radius, double speed_min,
     m.speed = rng.uniform(speed_min, speed_max);
   }
 
-  const auto radio_edges = [&]() {
-    std::set<Edge> edges;
+  std::vector<double> xs(n), ys(n);
+  const auto positions = [&] {
     for (std::size_t i = 0; i < n; ++i) {
-      for (std::size_t j = i + 1; j < n; ++j) {
-        const double dx = motes[i].x - motes[j].x;
-        const double dy = motes[i].y - motes[j].y;
-        if (std::hypot(dx, dy) <= radius) {
-          edges.insert(Edge(static_cast<NodeId>(i), static_cast<NodeId>(j)));
-        }
-      }
+      xs[i] = motes[i].x;
+      ys[i] = motes[i].y;
     }
-    return edges;
   };
 
-  std::set<Edge> prev = radio_edges();
-  {
-    std::set<Edge> initial = prev;
-    initial.insert(backbone_edges.begin(), backbone_edges.end());
-    s.initial_edges.assign(initial.begin(), initial.end());
-  }
+  positions();
+  std::set<Edge> prev = radius_edges(xs, ys, radius);
+  s.initial_edges = union_with_backbone(prev, backbone_edges);
 
   for (double t = update_dt; t < horizon; t += update_dt) {
     for (Mote& m : motes) {
@@ -204,20 +239,317 @@ Scenario make_mobility_scenario(std::size_t n, double radius, double speed_min,
         m.y += dy / dist * step;
       }
     }
-    const std::set<Edge> cur = radio_edges();
-    for (const Edge& e : cur) {
-      if (!prev.count(e) && !backbone_edges.count(e)) {
-        s.events.push_back(TopologyEvent{t, e, true});
-      }
-    }
-    for (const Edge& e : prev) {
-      if (!cur.count(e) && !backbone_edges.count(e)) {
-        s.events.push_back(TopologyEvent{t, e, false});
-      }
-    }
+    positions();
+    const std::set<Edge> cur = radius_edges(xs, ys, radius);
+    diff_radio_edges(prev, cur, backbone_edges, t, s.events);
     prev = cur;
   }
   return s;
+}
+
+Scenario make_gauss_markov_scenario(std::size_t n, double radius,
+                                    double mean_speed, double alpha,
+                                    double speed_sigma, double dir_sigma,
+                                    double update_dt, double horizon,
+                                    bool backbone, util::Rng& rng) {
+  if (n < 2) {
+    throw std::invalid_argument("make_gauss_markov_scenario: need n >= 2");
+  }
+  if (radius <= 0.0 || update_dt <= 0.0 || mean_speed <= 0.0 ||
+      speed_sigma < 0.0 || dir_sigma < 0.0) {
+    throw std::invalid_argument("make_gauss_markov_scenario: bad parameters");
+  }
+  if (alpha < 0.0 || alpha >= 1.0) {
+    throw std::invalid_argument(
+        "make_gauss_markov_scenario: need alpha in [0, 1)");
+  }
+  Scenario s;
+  s.name = "gauss-markov";
+  s.n = n;
+  const std::set<Edge> backbone_edges = ring_backbone(n, backbone);
+
+  constexpr double kTau = 6.283185307179586476925286766559;
+  struct Mote {
+    double x, y;
+    double speed;
+    double dir;
+    double mean_dir;  // per-node preferred heading, mirrored on reflection
+  };
+  std::vector<Mote> motes(n);
+  for (Mote& m : motes) {
+    m.x = rng.uniform(0.0, 1.0);
+    m.y = rng.uniform(0.0, 1.0);
+    m.speed = mean_speed;
+    m.mean_dir = rng.uniform(0.0, kTau);
+    m.dir = m.mean_dir;
+  }
+
+  std::vector<double> xs(n), ys(n);
+  const auto positions = [&] {
+    for (std::size_t i = 0; i < n; ++i) {
+      xs[i] = motes[i].x;
+      ys[i] = motes[i].y;
+    }
+  };
+
+  positions();
+  std::set<Edge> prev = radius_edges(xs, ys, radius);
+  s.initial_edges = union_with_backbone(prev, backbone_edges);
+
+  const double noise = std::sqrt(1.0 - alpha * alpha);
+  for (double t = update_dt; t < horizon; t += update_dt) {
+    for (Mote& m : motes) {
+      // AR(1) speed and heading; the noise gain keeps the stationary
+      // variance at sigma^2 for every alpha.
+      m.speed = alpha * m.speed + (1.0 - alpha) * mean_speed +
+                noise * rng.normal(0.0, speed_sigma);
+      // Velocity clamping: one large Gaussian draw must not teleport (or
+      // reverse) a node.
+      m.speed = std::min(std::max(m.speed, 0.0), 2.0 * mean_speed);
+      m.dir = alpha * m.dir + (1.0 - alpha) * m.mean_dir +
+              noise * rng.normal(0.0, dir_sigma);
+      m.x += m.speed * std::cos(m.dir) * update_dt;
+      m.y += m.speed * std::sin(m.dir) * update_dt;
+      // Reflect off the unit square's walls, mirroring both the current
+      // and the preferred heading so the process does not fight the wall.
+      while (m.x < 0.0 || m.x > 1.0) {
+        m.x = m.x < 0.0 ? -m.x : 2.0 - m.x;
+        m.dir = kTau / 2.0 - m.dir;
+        m.mean_dir = kTau / 2.0 - m.mean_dir;
+      }
+      while (m.y < 0.0 || m.y > 1.0) {
+        m.y = m.y < 0.0 ? -m.y : 2.0 - m.y;
+        m.dir = -m.dir;
+        m.mean_dir = -m.mean_dir;
+      }
+    }
+    positions();
+    const std::set<Edge> cur = radius_edges(xs, ys, radius);
+    diff_radio_edges(prev, cur, backbone_edges, t, s.events);
+    prev = cur;
+  }
+  return s;
+}
+
+Scenario make_group_scenario(std::size_t n, std::size_t groups, double radius,
+                             double group_radius, double speed_min,
+                             double speed_max, double update_dt,
+                             double switch_prob, double horizon, bool backbone,
+                             util::Rng& rng) {
+  if (n < 2) throw std::invalid_argument("make_group_scenario: need n >= 2");
+  if (groups == 0 || groups > n) {
+    throw std::invalid_argument(
+        "make_group_scenario: need 1 <= groups <= n");
+  }
+  if (radius <= 0.0 || group_radius < 0.0 || update_dt <= 0.0 ||
+      speed_min < 0.0 || speed_max < speed_min) {
+    throw std::invalid_argument("make_group_scenario: bad parameters");
+  }
+  if (switch_prob < 0.0 || switch_prob > 1.0) {
+    throw std::invalid_argument(
+        "make_group_scenario: need switch_prob in [0, 1]");
+  }
+  Scenario s;
+  s.name = "group";
+  s.n = n;
+  const std::set<Edge> backbone_edges = ring_backbone(n, backbone);
+
+  constexpr double kTau = 6.283185307179586476925286766559;
+  // Virtual reference points do plain random-waypoint.
+  struct Ref {
+    double x, y;
+    double wx, wy;
+    double speed;
+  };
+  std::vector<Ref> refs(groups);
+  for (Ref& r : refs) {
+    r.x = rng.uniform(0.0, 1.0);
+    r.y = rng.uniform(0.0, 1.0);
+    r.wx = rng.uniform(0.0, 1.0);
+    r.wy = rng.uniform(0.0, 1.0);
+    r.speed = rng.uniform(speed_min, speed_max);
+  }
+  // Members carry a jitter offset random-walking inside the group disc.
+  struct Member {
+    std::size_t group;
+    double ox, oy;
+  };
+  std::vector<Member> members(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    members[i].group = i % groups;
+    // Uniform over the disc (sqrt radial density).
+    const double r = group_radius * std::sqrt(rng.uniform(0.0, 1.0));
+    const double theta = rng.uniform(0.0, kTau);
+    members[i].ox = r * std::cos(theta);
+    members[i].oy = r * std::sin(theta);
+  }
+
+  std::vector<double> xs(n), ys(n);
+  const auto positions = [&] {
+    for (std::size_t i = 0; i < n; ++i) {
+      xs[i] = refs[members[i].group].x + members[i].ox;
+      ys[i] = refs[members[i].group].y + members[i].oy;
+    }
+  };
+
+  positions();
+  std::set<Edge> prev = radius_edges(xs, ys, radius);
+  s.initial_edges = union_with_backbone(prev, backbone_edges);
+
+  const double jitter_sigma = group_radius / 4.0;
+  for (double t = update_dt; t < horizon; t += update_dt) {
+    for (Ref& r : refs) {
+      double dx = r.wx - r.x;
+      double dy = r.wy - r.y;
+      const double dist = std::hypot(dx, dy);
+      const double step = r.speed * update_dt;
+      if (dist <= step) {
+        r.x = r.wx;
+        r.y = r.wy;
+        r.wx = rng.uniform(0.0, 1.0);
+        r.wy = rng.uniform(0.0, 1.0);
+        r.speed = rng.uniform(speed_min, speed_max);
+      } else {
+        r.x += dx / dist * step;
+        r.y += dy / dist * step;
+      }
+    }
+    for (Member& m : members) {
+      // Migration makes groups merge and split over time instead of being
+      // a fixed partition.  Both the decision and the target draw happen
+      // unconditionally, so sweeping switch_prob never shifts the RNG
+      // stream the jitter and waypoint draws see.
+      const bool migrate = rng.uniform(0.0, 1.0) < switch_prob;
+      const std::size_t target =
+          static_cast<std::size_t>(rng.uniform_int(0, groups - 1));
+      if (migrate) m.group = target;
+      if (group_radius > 0.0) {
+        m.ox += rng.normal(0.0, jitter_sigma);
+        m.oy += rng.normal(0.0, jitter_sigma);
+        const double d = std::hypot(m.ox, m.oy);
+        if (d > group_radius) {
+          m.ox *= group_radius / d;
+          m.oy *= group_radius / d;
+        }
+      }
+    }
+    positions();
+    const std::set<Edge> cur = radius_edges(xs, ys, radius);
+    diff_radio_edges(prev, cur, backbone_edges, t, s.events);
+    prev = cur;
+  }
+  return s;
+}
+
+namespace {
+
+// Component label per node of the graph (n, edges); labels are the
+// smallest node id in each component, so they are deterministic.
+std::vector<std::size_t> component_labels(std::size_t n,
+                                          const std::set<Edge>& edges) {
+  std::vector<std::size_t> parent(n);
+  for (std::size_t i = 0; i < n; ++i) parent[i] = i;
+  const auto find = [&](std::size_t v) {
+    while (parent[v] != v) {
+      parent[v] = parent[parent[v]];
+      v = parent[v];
+    }
+    return v;
+  };
+  for (const Edge& e : edges) {
+    const std::size_t a = find(e.u);
+    const std::size_t b = find(e.v);
+    if (a != b) parent[std::max(a, b)] = std::min(a, b);
+  }
+  std::vector<std::size_t> label(n);
+  for (std::size_t i = 0; i < n; ++i) label[i] = find(i);
+  return label;
+}
+
+}  // namespace
+
+std::size_t enforce_interval_connectivity(Scenario& scenario, double window,
+                                          double horizon) {
+  if (window <= 0.0 || horizon <= 0.0) {
+    throw std::invalid_argument(
+        "enforce_interval_connectivity: bad window/horizon");
+  }
+  if (scenario.n < 2) {
+    throw std::invalid_argument("enforce_interval_connectivity: need n >= 2");
+  }
+  const std::size_t n = scenario.n;
+
+  // Replay the base schedule in the same order DynamicGraph will, using
+  // the same window sweep the audit uses -- the "an enforced scenario
+  // always audits clean" guarantee rests on both sides sharing one
+  // implementation of the window/union boundary semantics.
+  std::vector<TopologyEvent> events = scenario.events;
+  std::stable_sort(events.begin(), events.end(),
+                   [](const TopologyEvent& a, const TopologyEvent& b) {
+                     return a.at < b.at;
+                   });
+  SnapshotUnionSweep sweep(scenario.initial_edges, std::move(events), window);
+
+  std::vector<TopologyEvent> added;
+  std::size_t patched = 0;
+  while (sweep.next(horizon)) {
+    const std::size_t k = sweep.window_index();
+    const double start = sweep.window_start();
+    const double end = sweep.window_end();
+    const std::set<Edge>& window_union = sweep.window_union();
+    // A connector always spans two different components of the union, so
+    // it can never duplicate an edge that is live at any point inside its
+    // window (such an edge's endpoints share a component).  The one
+    // remaining collision is a base bring-up at exactly the teardown
+    // instant `end`: appended events sort after base events at equal
+    // times, so the teardown would cancel that bring-up.  Such edges are
+    // skipped as candidates.
+    const std::set<Edge> blocked = sweep.adds_at(end);
+
+    const std::vector<std::size_t> label = component_labels(n, window_union);
+
+    // Components, each as a sorted node list, ordered by smallest member.
+    std::vector<std::vector<NodeId>> comps;
+    {
+      std::vector<std::size_t> comp_of_label(n, n);
+      for (std::size_t i = 0; i < n; ++i) {
+        if (comp_of_label[label[i]] == n) {
+          comp_of_label[label[i]] = comps.size();
+          comps.emplace_back();
+        }
+        comps[comp_of_label[label[i]]].push_back(static_cast<NodeId>(i));
+      }
+    }
+    if (comps.size() <= 1) continue;
+
+    // Chain adjacent components with one connector each; endpoints rotate
+    // with the window index so no edge is pinned up forever, skipping any
+    // candidate that collides with a base edge.
+    for (std::size_t c = 0; c + 1 < comps.size(); ++c) {
+      const std::vector<NodeId>& a = comps[c];
+      const std::vector<NodeId>& b = comps[c + 1];
+      bool found = false;
+      for (std::size_t i = 0; i < a.size() && !found; ++i) {
+        for (std::size_t j = 0; j < b.size() && !found; ++j) {
+          const Edge e(a[(k + i) % a.size()], b[(k + j) % b.size()]);
+          if (blocked.count(e)) continue;
+          added.push_back(TopologyEvent{start, e, true});
+          // Horizon rule: a teardown landing at or past the horizon is
+          // dropped, so the final window's connectors stay live.
+          if (end < horizon) added.push_back(TopologyEvent{end, e, false});
+          found = true;
+        }
+      }
+      if (!found) {
+        throw std::runtime_error(
+            "enforce_interval_connectivity: no collision-free connector edge "
+            "exists between two components");
+      }
+    }
+    ++patched;
+  }
+  scenario.events.insert(scenario.events.end(), added.begin(), added.end());
+  return patched;
 }
 
 }  // namespace gcs::net

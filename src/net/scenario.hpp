@@ -14,7 +14,24 @@
 //                   old one is torn down so the network never partitions;
 //  * mobility    -- random-waypoint motion in the unit square with a
 //                   radius-based connectivity graph, optionally unioned
-//                   with a static ring backbone to keep it connected.
+//                   with a static ring backbone to keep it connected;
+//  * gauss-markov -- temporally correlated motion (Gauss-Markov): each
+//                   node's speed and heading are AR(1) processes with a
+//                   tunable memory parameter alpha, speed clamped to
+//                   [0, 2*mean_speed], headings reflected at the unit
+//                   square's walls;
+//  * group       -- reference-point group mobility: virtual group
+//                   reference points do random-waypoint, members jitter
+//                   inside a disc around their group's point, and nodes
+//                   occasionally migrate between groups, so groups
+//                   effectively merge and split over time;
+//  * trace       -- replay of an externally supplied contact trace
+//                   (see net/trace.hpp for the CSV/JSON formats).
+//
+// None of the mobility-style generators needs a static backbone to
+// satisfy the paper's connectivity assumption: pass the scenario through
+// enforce_interval_connectivity() to patch in rotating per-window
+// connector edges instead (below).
 //
 // Horizon rule (all generators): every emitted TopologyEvent satisfies
 // t < horizon, and post-horizon dynamics are dropped rather than clamped
@@ -77,6 +94,61 @@ Scenario make_switching_star_scenario(std::size_t n, double period,
 Scenario make_mobility_scenario(std::size_t n, double radius, double speed_min,
                                 double speed_max, double update_dt,
                                 double horizon, bool backbone, util::Rng& rng);
+
+// Gauss-Markov mobility in the unit square.  Per node, speed and heading
+// evolve as AR(1) processes with memory parameter `alpha` in [0, 1):
+//
+//   s'  =  alpha * s + (1 - alpha) * mean_speed + sqrt(1 - alpha^2) * N(0, speed_sigma)
+//   d'  =  alpha * d + (1 - alpha) * mean_dir_u + sqrt(1 - alpha^2) * N(0, dir_sigma)
+//
+// where mean_dir_u is a per-node preferred heading drawn at start.
+// alpha -> 1 is smooth, ballistic motion; alpha -> 0 is memoryless
+// (near-Brownian) jitter.  Speeds are clamped to [0, 2 * mean_speed]
+// (velocity clamping, so one large Gaussian draw cannot teleport a node)
+// and headings reflect off the square's walls.  Connectivity is the
+// radius graph, recomputed every `update_dt`, optionally unioned with a
+// static ring backbone.
+Scenario make_gauss_markov_scenario(std::size_t n, double radius,
+                                    double mean_speed, double alpha,
+                                    double speed_sigma, double dir_sigma,
+                                    double update_dt, double horizon,
+                                    bool backbone, util::Rng& rng);
+
+// Reference-point group mobility: `groups` virtual reference points move
+// by random-waypoint at speeds in [speed_min, speed_max]; each node sits
+// at its group's reference point plus a jitter offset random-walking
+// inside a disc of radius `group_radius`.  Every update each node
+// migrates to a uniformly random group with probability `switch_prob`,
+// so groups merge and split over time instead of being a fixed
+// partition.  Connectivity is the radius graph (optionally + ring
+// backbone), so co-located groups naturally bridge.
+Scenario make_group_scenario(std::size_t n, std::size_t groups, double radius,
+                             double group_radius, double speed_min,
+                             double speed_max, double update_dt,
+                             double switch_prob, double horizon, bool backbone,
+                             util::Rng& rng);
+
+// Post-processes `scenario` so that every full (T+D)-style window
+// [k*window, (k+1)*window) with (k+1)*window <= horizon has a connected
+// snapshot union, WITHOUT a static backbone: for each window whose union
+// of live edges is disconnected, a minimal chain of connector edges is
+// added between the union's components, up at the window start and torn
+// down at the window end (dropped, not clamped, when the teardown would
+// land at or past the horizon -- the generators' horizon rule).  The
+// connector endpoints rotate with the window index, so no edge is pinned
+// up forever.  A connector always spans two components of its window's
+// union, so it can never duplicate an edge that is live inside the
+// window; the one possible collision -- a base bring-up of the same edge
+// at exactly the connector's teardown instant, which the teardown would
+// cancel -- is excluded when candidates are chosen, and if no
+// collision-free pair exists between two components the function throws
+// instead of silently weakening the guarantee.  Returns the number of
+// windows patched.
+//
+// audit_interval_connectivity() (net/dynamic_graph.hpp) checks the same
+// window/union definition, so an enforced scenario always audits clean.
+std::size_t enforce_interval_connectivity(Scenario& scenario, double window,
+                                          double horizon);
 
 }  // namespace gcs::net
 

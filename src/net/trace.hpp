@@ -1,0 +1,79 @@
+// gcs::net -- contact traces: externally recorded connectivity, replayed
+// as a Scenario.
+//
+// A contact trace is the trace-driven counterpart of the synthetic
+// generators in net/scenario.hpp: instead of drawing dynamics from an
+// RNG, the adversary is a recorded sequence of edge up/down contacts
+// (from a testbed log, another simulator, or a hand-written fixture).
+// Two equivalent on-disk formats are supported:
+//
+//   CSV  -- '#' comment lines and blank lines are ignored; the first
+//           data line declares the node count, every following line is
+//           one contact event:
+//
+//             n,8
+//             0,0,1,up
+//             12.5,0,1,down
+//
+//   JSON -- parsed with gcs::util::json:
+//
+//             {"n": 8, "events": [[0, 0, 1, "up"], [12.5, 0, 1, "down"]]}
+//
+// Parsing is strict and loud: a malformed line, an out-of-range node id,
+// a self-loop, a negative or non-finite time, or an unknown action
+// throws with the offending line/element named, so a broken trace fails
+// a campaign up front (gcs_run exits 2) instead of silently replaying a
+// different network.
+//
+// Events at t == 0 fold, in file order, into the scenario's initial edge
+// set (an "up, down" pair at t=0 nets to absent); everything later
+// replays as TopologyEvents.  Same-instant events apply
+// in file order (DynamicGraph's stable sort preserves it).  The horizon
+// rule of scenario.hpp applies on conversion: events at or past the
+// requested horizon are dropped, not clamped, and whatever is live then
+// stays live through the end of the run.
+#ifndef GCS_NET_TRACE_HPP
+#define GCS_NET_TRACE_HPP
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "net/scenario.hpp"
+#include "net/topology.hpp"
+#include "util/json.hpp"
+
+namespace gcs::net {
+
+struct ContactEvent {
+  double t = 0.0;
+  NodeId u = 0;
+  NodeId v = 0;
+  bool up = true;
+};
+
+struct ContactTrace {
+  std::size_t n = 0;
+  std::vector<ContactEvent> events;  // in file order; not necessarily sorted
+};
+
+// Parses the CSV format above.  Throws std::invalid_argument naming the
+// 1-based line number of the first malformed line.
+ContactTrace parse_contact_trace_csv(const std::string& text);
+
+// Parses the JSON format above.  Throws std::invalid_argument (shape
+// errors, with the element index) or util::json::Error (type errors).
+ContactTrace parse_contact_trace_json(const util::json::Value& doc);
+
+// Reads a trace file, dispatching on its extension (".csv" or ".json");
+// any other extension, an unreadable file, or a parse failure throws
+// std::runtime_error prefixed with the path.
+ContactTrace load_contact_trace(const std::string& path);
+
+// Converts a trace into a replayable Scenario (name "trace"), applying
+// the horizon rule: events with t >= horizon are dropped.
+Scenario make_trace_scenario(const ContactTrace& trace, double horizon);
+
+}  // namespace gcs::net
+
+#endif  // GCS_NET_TRACE_HPP

@@ -1,0 +1,52 @@
+# Executes every `gcs_run` one-liner documented in docs/scenarios.md, so
+# the handbook cannot rot: a command that stops parsing or fails --check
+# fails this test.  Lines inside the handbook's code fences that start
+# with "gcs_run " are extracted verbatim; each runs from the repo root
+# (trace paths in the handbook are repo-relative) with --quiet and a
+# scratch --out appended.
+#
+# Usage:
+#   cmake -DGCS_RUN=<path> -DSRC_DIR=<repo root> -DOUT_DIR=<scratch>
+#         -DDOC=<docs/scenarios.md> -P run_scenario_docs.cmake
+
+foreach(var GCS_RUN SRC_DIR OUT_DIR DOC)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "run_scenario_docs.cmake: -D${var}=... is required")
+  endif()
+endforeach()
+
+file(REMOVE_RECURSE ${OUT_DIR})
+file(MAKE_DIRECTORY ${OUT_DIR})
+
+# file(STRINGS) + list() would choke on the markdown's brackets, so the
+# one-liners are pulled straight out of the raw text: every line that
+# starts with "gcs_run ".  (The commands themselves contain no brackets
+# or semicolons; the surrounding prose may.)
+file(READ ${DOC} doc_text)
+string(REGEX MATCHALL "\ngcs_run [^\n]*" doc_lines "${doc_text}")
+set(found 0)
+foreach(raw IN LISTS doc_lines)
+  string(STRIP "${raw}" line)
+  math(EXPR found "${found} + 1")
+  string(REGEX REPLACE "^gcs_run " "" args "${line}")
+  separate_arguments(arg_list UNIX_COMMAND "${args}")
+  execute_process(
+    COMMAND ${GCS_RUN} ${arg_list} --quiet --out ${OUT_DIR}/run-${found}
+    WORKING_DIRECTORY ${SRC_DIR}
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+            "documented one-liner failed (exit ${rc}):\n  ${line}\n${out}${err}")
+  endif()
+  message(STATUS "ok: ${line}")
+endforeach()
+
+# Every generator section carries a one-liner; a handbook rewrite that
+# drops them below this floor is a doc regression, not a passing test.
+if(found LESS 6)
+  message(FATAL_ERROR
+          "expected >= 6 gcs_run one-liners in ${DOC}, found ${found}")
+endif()
+message(STATUS "${found} documented one-liner(s) OK")

@@ -162,6 +162,56 @@ TEST(Campaign, SpecJsonRoundTrip) {
   EXPECT_FALSE(back.backbone);
 }
 
+TEST(Campaign, NewGeneratorSpecsRoundTripAndValidate) {
+  // Gauss-Markov: every knob serializes and survives the round trip.
+  const cli::ScenarioSpec gm = cli::ScenarioSpec::from_flag(
+      "gauss-markov:alpha=0.9:mean_speed=0.05:speed_sigma=0.02:dir_sigma=0.3:"
+      "backbone=false:connect_window=3.5");
+  EXPECT_EQ(gm.kind, "gauss-markov");
+  EXPECT_DOUBLE_EQ(gm.alpha, 0.9);
+  EXPECT_DOUBLE_EQ(gm.connect_window, 3.5);
+  const cli::ScenarioSpec gm_back = cli::ScenarioSpec::from_json(gm.to_json());
+  EXPECT_EQ(json::dump(gm_back.to_json()), json::dump(gm.to_json()));
+
+  const cli::ScenarioSpec grp = cli::ScenarioSpec::from_flag(
+      "group:groups=4:group_radius=0.1:switch_prob=0.05");
+  EXPECT_EQ(grp.groups, 4u);
+  const cli::ScenarioSpec grp_back =
+      cli::ScenarioSpec::from_json(grp.to_json());
+  EXPECT_EQ(json::dump(grp_back.to_json()), json::dump(grp.to_json()));
+
+  // Knob strictness still applies per kind.
+  EXPECT_THROW(cli::ScenarioSpec::from_flag("gauss-markov:lifetime=5"),
+               std::invalid_argument);
+  EXPECT_THROW(cli::ScenarioSpec::from_flag("group:alpha=0.5"),
+               std::invalid_argument);
+}
+
+TEST(Campaign, TraceSpecCarriesPathAndRequiresIt) {
+  // The path knob is a string; flag parsing must not mangle it, and the
+  // JSON round trip must preserve it (this is what makes a trace cell
+  // re-runnable from its result document).
+  const cli::ScenarioSpec spec = cli::ScenarioSpec::from_flag(
+      "trace:path=campaigns/traces/example_contacts.csv:connect_window=3.5");
+  EXPECT_EQ(spec.kind, "trace");
+  EXPECT_EQ(spec.path, "campaigns/traces/example_contacts.csv");
+  EXPECT_DOUBLE_EQ(spec.connect_window, 3.5);
+  const cli::ScenarioSpec back = cli::ScenarioSpec::from_json(spec.to_json());
+  EXPECT_EQ(back.path, spec.path);
+  EXPECT_EQ(json::dump(back.to_json()), json::dump(spec.to_json()));
+
+  // A trace spec without a path is a loud error, not a later file-not-
+  // found surprise.
+  EXPECT_THROW(cli::ScenarioSpec::from_flag("trace"), std::invalid_argument);
+  EXPECT_THROW(cli::ScenarioSpec::from_flag("trace:connect_window=2"),
+               std::invalid_argument);
+  // A missing trace file fails at build (= cell instantiation) time.
+  cli::Campaign campaign = cli::build_campaign(
+      nullptr, {{"n", "4"}, {"scenario", "trace:path=/no/such/trace.csv"}});
+  ASSERT_EQ(campaign.cells.size(), 1u);
+  EXPECT_THROW(cli::instantiate(campaign.cells[0]), std::runtime_error);
+}
+
 TEST(Campaign, RejectsMalformedCampaigns) {
   EXPECT_THROW(from_text(R"({"swep": {}})"), std::invalid_argument);
   EXPECT_THROW(from_text(R"({"sweep": {"warp": [1]}})"),

@@ -15,6 +15,7 @@
 #include "core/network_sim.hpp"
 #include "net/delay.hpp"
 #include "net/scenario.hpp"
+#include "net/trace.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -135,6 +136,47 @@ TEST(DeterminismMatrix, MobilityScenario) {
       gcs::net::make_mobility_scenario(10, 0.35, 0.01, 0.05, 1.0, 40.0,
                                        /*backbone=*/true, rng),
       40.0);
+}
+
+TEST(DeterminismMatrix, GaussMarkovScenario) {
+  gcs::util::Rng rng(33);
+  expect_identical_across_modes(
+      gcs::net::make_gauss_markov_scenario(10, /*radius=*/0.35,
+                                           /*mean_speed=*/0.04, /*alpha=*/0.8,
+                                           /*speed_sigma=*/0.01,
+                                           /*dir_sigma=*/0.5, /*update_dt=*/1.0,
+                                           40.0, /*backbone=*/true, rng),
+      40.0);
+}
+
+TEST(DeterminismMatrix, GroupScenario) {
+  gcs::util::Rng rng(45);
+  expect_identical_across_modes(
+      gcs::net::make_group_scenario(12, /*groups=*/3, /*radius=*/0.3,
+                                    /*group_radius=*/0.12, /*speed_min=*/0.02,
+                                    /*speed_max=*/0.06, /*update_dt=*/1.0,
+                                    /*switch_prob=*/0.05, 40.0,
+                                    /*backbone=*/true, rng),
+      40.0);
+}
+
+// Trace-driven replay, including a backbone-free schedule patched by the
+// interval-connectivity enforcer: connector events must be just as
+// trajectory-neutral across the matrix as generator events.
+TEST(DeterminismMatrix, TraceScenarioWithEnforcedConnectivity) {
+  gcs::net::ContactTrace trace;
+  trace.n = 8;
+  for (std::size_t i = 0; i + 1 < trace.n; ++i) {
+    trace.events.push_back({0.0, static_cast<gcs::net::NodeId>(i),
+                            static_cast<gcs::net::NodeId>(i + 1), true});
+  }
+  // Break the path apart in the middle for a while; the enforcer patches
+  // the windows this leaves disconnected.
+  trace.events.push_back({10.0, 3, 4, false});
+  trace.events.push_back({26.0, 3, 4, true});
+  gcs::net::Scenario scenario = gcs::net::make_trace_scenario(trace, 40.0);
+  gcs::net::enforce_interval_connectivity(scenario, /*window=*/3.5, 40.0);
+  expect_identical_across_modes(scenario, 40.0);
 }
 
 // Dense static graph under constant delay: the regime where batching

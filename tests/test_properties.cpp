@@ -1,5 +1,6 @@
 // Property tests for the paper's invariants, swept over randomized
-// parameters and all three dynamic-scenario generators.  Every run,
+// parameters and the randomized dynamic-scenario generators (churn,
+// switching star, random-waypoint, Gauss-Markov, group).  Every run,
 // whatever the drawn parameters, must satisfy:
 //
 //   1. global skew <= SyncParams::global_skew_bound() + slack  (Thm 4.6
@@ -72,6 +73,22 @@ gcs::net::Scenario draw_scenario(const std::string& kind, const SyncParams& p,
     return gcs::net::make_switching_star_scenario(
         p.n, period, /*overlap=*/period * rng.uniform(0.2, 0.6), horizon);
   }
+  if (kind == "gauss-markov") {
+    return gcs::net::make_gauss_markov_scenario(
+        p.n, /*radius=*/rng.uniform(0.3, 0.5),
+        /*mean_speed=*/rng.uniform(0.02, 0.06),
+        /*alpha=*/rng.uniform(0.1, 0.95), /*speed_sigma=*/0.01,
+        /*dir_sigma=*/rng.uniform(0.2, 0.9), /*update_dt=*/1.0, horizon,
+        /*backbone=*/true, scenario_rng);
+  }
+  if (kind == "group") {
+    return gcs::net::make_group_scenario(
+        p.n, /*groups=*/rng.index(1, 3), /*radius=*/rng.uniform(0.3, 0.5),
+        /*group_radius=*/rng.uniform(0.05, 0.2), /*speed_min=*/0.01,
+        /*speed_max=*/rng.uniform(0.02, 0.08), /*update_dt=*/1.0,
+        /*switch_prob=*/rng.uniform(0.0, 0.1), horizon,
+        /*backbone=*/true, scenario_rng);
+  }
   return gcs::net::make_mobility_scenario(
       p.n, /*radius=*/rng.uniform(0.3, 0.5), /*speed_min=*/0.01,
       /*speed_max=*/rng.uniform(0.02, 0.08), /*update_dt=*/1.0, horizon,
@@ -136,6 +153,10 @@ void check_invariants(const std::string& kind, std::uint64_t seed) {
   EXPECT_EQ(sim.stats().conformance_monotonicity_failures, 0u);
   // Scheduling hygiene: nothing was ever scheduled in the past.
   EXPECT_EQ(sim.engine_clamped_count(), 0u);
+  // All property scenarios keep a backbone, so the simulator's
+  // (T+D)-interval-connectivity audit must come back clean.
+  EXPECT_GT(sim.stats().connectivity_windows_checked, 0u);
+  EXPECT_EQ(sim.stats().connectivity_windows_disconnected, 0u);
 }
 
 class PropertySweep
@@ -148,11 +169,15 @@ TEST_P(PropertySweep, PaperInvariantsHold) {
 
 INSTANTIATE_TEST_SUITE_P(
     Scenarios, PropertySweep,
-    ::testing::Combine(::testing::Values("churn", "star", "mobility"),
+    ::testing::Combine(::testing::Values("churn", "star", "mobility",
+                                         "gauss-markov", "group"),
                        ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u)),
     [](const auto& info) {
-      return std::get<0>(info.param) + "_seed" +
-             std::to_string(std::get<1>(info.param));
+      std::string kind = std::get<0>(info.param);
+      for (char& c : kind) {
+        if (c == '-') c = '_';
+      }
+      return kind + "_seed" + std::to_string(std::get<1>(info.param));
     });
 
 // The scenario horizon rule (scenario.hpp): no generator emits an event
@@ -186,6 +211,22 @@ TEST(ScenarioHorizon, NoGeneratorEmitsEventsAtOrPastHorizon) {
           gcs::net::make_mobility_scenario(9, 0.4, 0.01, 0.05, 1.0, horizon,
                                            /*backbone=*/true, gen),
           horizon);
+    }
+    {
+      gcs::util::Rng gen(seed + 200);
+      expect_within(gcs::net::make_gauss_markov_scenario(
+                        9, 0.4, /*mean_speed=*/0.04, /*alpha=*/0.8,
+                        /*speed_sigma=*/0.01, /*dir_sigma=*/0.5, 1.0, horizon,
+                        /*backbone=*/false, gen),
+                    horizon);
+    }
+    {
+      gcs::util::Rng gen(seed + 300);
+      expect_within(gcs::net::make_group_scenario(
+                        9, /*groups=*/3, 0.4, /*group_radius=*/0.1, 0.01, 0.05,
+                        1.0, /*switch_prob=*/0.1, horizon, /*backbone=*/false,
+                        gen),
+                    horizon);
     }
   }
 }

@@ -44,6 +44,10 @@ TEST(Serialize, ResultRoundTripIsIdentity) {
             result.run_stats.messages_delivered);
   EXPECT_EQ(back.run_stats.first_clamped_seq,
             result.run_stats.first_clamped_seq);
+  EXPECT_EQ(back.run_stats.connectivity_windows_checked,
+            result.run_stats.connectivity_windows_checked);
+  EXPECT_GT(back.run_stats.connectivity_windows_checked, 0u);
+  EXPECT_EQ(back.run_stats.connectivity_windows_disconnected, 0u);
 }
 
 TEST(Serialize, ResultCarriesSchemaVersion) {
@@ -65,6 +69,11 @@ TEST(Serialize, RejectsSchemaDrift) {
   json::Value stats_drift = harness::to_json(run_small());
   stats_drift["run_stats"].as_object().erase("first_clamped_seq");
   EXPECT_THROW(harness::result_from_json(stats_drift), json::Error);
+
+  // The v2 connectivity-audit pair is required like every other counter.
+  json::Value no_audit = harness::to_json(run_small());
+  no_audit["run_stats"].as_object().erase("connectivity_windows_disconnected");
+  EXPECT_THROW(harness::result_from_json(no_audit), json::Error);
 }
 
 TEST(Serialize, ConfigRoundTrip) {

@@ -43,12 +43,16 @@ sweepable keys (comma lists and integer ranges a..b become axes):
   delay (uniform|constant[:x]), engine (calendar|heap),
   delivery (batched|per-receiver), rho, T, D, delta_h, B0,
   horizon, sample_dt, seed (alias: seeds)
-  scenario: kind[:knob=value...] with kind churn|switching-star|mobility
+  scenario: kind[:knob=value...] with kind churn|switching-star|mobility|
+  gauss-markov|group|trace (docs/scenarios.md documents every knob;
+  trace wants path=<contacts.csv|.json>, mobility-style kinds accept
+  connect_window=W to enforce W-interval connectivity without a backbone)
 
 examples:
   gcs_run --campaign campaigns/smoke.json --check
   gcs_run --campaign campaigns/churn.json --jobs 4 --check
   gcs_run --n=8,16,32 --topology=ring,complete --seeds=1..5
+  gcs_run --n=10 --scenario=gauss-markov:alpha=0.85:backbone=false:connect_window=3.5 --check
   gcs_run --campaign campaigns/churn.json --horizon=120 --out /tmp/churn
 )";
 
