@@ -20,6 +20,13 @@
 //     while plain Algorithm 2 allows ~B0 — precision links stay tighter
 //     through transients. Reported: peak post-shortcut skew on a tight
 //     vs a loose link, weighted vs unweighted.
+//
+// The tolerance knobs ablated here (B0, delta_h) also sweep through the
+// campaign/report path: `gcs_run --campaign campaigns/ablation.json
+// --check --series` followed by `gcs_report <tree> --frontier` prints the
+// skew-vs-message-cost frontier for the same (delta_h, B0) grid, with the
+// per-sample envelope utilization from the telemetry series (see
+// docs/observability.md).
 #include <benchmark/benchmark.h>
 
 #include <cmath>

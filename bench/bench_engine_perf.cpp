@@ -12,16 +12,20 @@
 // population of `pending` events where every pop schedules a successor.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "core/dcsa_node.hpp"
 #include "core/network_sim.hpp"
 #include "harness/experiment.hpp"
 #include "net/topology.hpp"
+#include "obs/telemetry.hpp"
 #include "sim/engine.hpp"
 
 namespace {
@@ -206,6 +210,53 @@ void BM_DcsaDenseDelivery(benchmark::State& state) {
   state.counters["delivery_events"] = static_cast<double>(delivery_events);
 }
 
+// Telemetry overhead: the same checked experiment with no recorder
+// versus a full obs::TelemetryRecorder capturing the series and a bounded
+// trace.  Each benchmark iteration runs the PAIR back to back and records
+// the on/off wall-time quotient of that pair; the reported
+// `telemetry_overhead_ratio` counter is the MEDIAN of the per-pair
+// quotients.  Per-pair, because the two arms run under near-identical
+// machine conditions so common-mode noise (turbo steps, co-tenants)
+// cancels in the quotient; median, because what noise remains is
+// heavy-tailed.  Iterations are pinned so the median always has the same
+// sample size regardless of --benchmark_min_time.  The recorder contract
+// says it only observes; scripts/perf_compare.py gates this counter at
+// < 1.05.
+void BM_TelemetryOverhead(benchmark::State& state) {
+  gcs::harness::ExperimentConfig cfg;
+  cfg.params.n = 32;
+  cfg.params.rho = 0.05;
+  cfg.params.T = 1.0;
+  cfg.params.D = 2.5;
+  cfg.params.delta_h = 0.5;
+  cfg.topology = "complete";  // dense: many edges per sample, many messages
+  cfg.drift = "spread";
+  cfg.delay = "constant:0.5";
+  cfg.horizon = 20.0;
+  cfg.sample_dt = 0.5;
+  using BenchClock = std::chrono::steady_clock;
+  std::vector<double> ratios;
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    const auto t0 = BenchClock::now();
+    events = gcs::harness::run_experiment(cfg).events_executed;
+    const auto t1 = BenchClock::now();
+    gcs::obs::TelemetryRecorder recorder(4096);
+    events = gcs::harness::run_experiment(cfg, &recorder).events_executed;
+    const auto t2 = BenchClock::now();
+    benchmark::DoNotOptimize(recorder.trace_kept());
+    const double off = std::chrono::duration<double>(t1 - t0).count();
+    const double on = std::chrono::duration<double>(t2 - t1).count();
+    if (off > 0.0) ratios.push_back(on / off);
+  }
+  std::sort(ratios.begin(), ratios.end());
+  state.SetItemsProcessed(static_cast<std::int64_t>(2 * events) *
+                          state.iterations());
+  state.counters["events_per_run"] = static_cast<double>(events);
+  state.counters["telemetry_overhead_ratio"] =
+      ratios.empty() ? 0.0 : ratios[ratios.size() / 2];
+}
+
 void BM_DcsaSimulationWithChecks(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   gcs::harness::ExperimentConfig cfg;
@@ -242,6 +293,9 @@ BENCHMARK(BM_DcsaSimulation)->Arg(8)->Arg(32)->Arg(128)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_DcsaDenseDelivery)
     ->ArgsProduct({{64}, {0, 1}})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TelemetryOverhead)
+    ->Iterations(25)  // fixed median sample size; ~1s total
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_DcsaSimulationWithChecks)->Arg(8)->Arg(32)
     ->Unit(benchmark::kMillisecond);

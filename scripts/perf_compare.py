@@ -1,27 +1,41 @@
 #!/usr/bin/env python3
-"""Perf-smoke gate: compare calendar-vs-heap Hold ratios against a baseline.
+"""Perf-smoke gate: ratio checks against a committed benchmark baseline.
 
 Usage:
     perf_compare.py BENCH_baseline.json bench_current.json
         [--tolerance 2.0] [--min-pending 10000]
+        [--max-telemetry-overhead 0.05]
 
-Both files are ``bench_engine_perf --benchmark_format=json`` output.  The
-gate looks only at ``BM_EventQueue_Hold/<pending>/<policy>/<slotted>``
-(policy 0 = heap, 1 = calendar) and, for every (pending, slotted) shape
-with pending >= --min-pending present in BOTH files, computes
+Both files are ``bench_engine_perf --benchmark_format=json`` output.  Two
+gates run, both on ratios measured within one process so they are
+machine-portable (CI runners and dev laptops differ wildly in clock
+speed, but the two sides of each ratio run seconds apart on the same
+machine; turbo/co-tenancy noise moves both sides together and largely
+cancels):
 
-    ratio = heap cpu_time / calendar cpu_time
+1. Queue speedup.  For every ``BM_EventQueue_Hold/<pending>/<policy>/
+   <slotted>`` shape (policy 0 = heap, 1 = calendar) with pending >=
+   --min-pending present in BOTH files,
 
-i.e. "how many times faster is the calendar queue".  The current run must
-keep at least 1/--tolerance of the baseline ratio; with the default 2.0 a
->2x regression of the speedup fails, anything milder passes.
+       ratio = heap cpu_time / calendar cpu_time
 
-Ratios, not absolute times, make this machine-portable: CI runners and dev
-laptops differ wildly in clock speed, but heap and calendar are measured
-in the same process seconds apart, so their quotient is comparable across
-machines.  Remaining noise sources (turbo, co-tenancy) move both policies
-together and largely cancel.  If a benchmark was run with repetitions the
-median aggregate is preferred over the raw iterations.
+   i.e. "how many times faster is the calendar queue".  The current run
+   must keep at least 1/--tolerance of the baseline ratio; with the
+   default 2.0 a >2x regression of the speedup fails.
+
+2. Telemetry overhead.  ``BM_TelemetryOverhead`` runs one checked
+   experiment without and with a full TelemetryRecorder attached, back to
+   back in each iteration, and reports the quotient of the two arms'
+   minimum wall times as the ``telemetry_overhead_ratio`` counter
+   (minima, because interference only adds time).  The current run's
+   ratio must stay below 1 + --max-telemetry-overhead (default 5%); the
+   recorder contract says observation is passive, and this gate keeps it
+   honest.  The baseline's ratio is reported alongside and must exist
+   (so the committed baseline documents the overhead at the time it was
+   cut).
+
+If a benchmark was run with repetitions the median aggregate is preferred
+over the raw iterations.
 
 Exit codes: 0 pass, 1 regression, 2 unusable input (missing shapes --
 a renamed benchmark must fail loudly, not skip the gate).
@@ -32,15 +46,21 @@ import json
 import sys
 
 HOLD_PREFIX = "BM_EventQueue_Hold/"
+TELEMETRY_NAME = "BM_TelemetryOverhead"
+TELEMETRY_COUNTER = "telemetry_overhead_ratio"
 
 
-def load_hold_times(path):
-    """name -> cpu_time for Hold benchmarks, preferring median aggregates."""
+def load_benchmarks(path):
+    """The parsed benchmark entry list of one --benchmark_format=json file."""
     with open(path) as f:
-        doc = json.load(f)
+        return json.load(f).get("benchmarks", [])
+
+
+def hold_times(benchmarks):
+    """name -> cpu_time for Hold benchmarks, preferring median aggregates."""
     times = {}
     have_aggregate = set()
-    for bench in doc.get("benchmarks", []):
+    for bench in benchmarks:
         name = bench.get("name", "")
         base = bench.get("run_name", name)
         if not base.startswith(HOLD_PREFIX):
@@ -75,6 +95,29 @@ def hold_ratios(times, min_pending):
     return ratios
 
 
+def telemetry_ratio(benchmarks):
+    """The telemetry_overhead_ratio counter, or None if absent.
+
+    Prefers the smallest repetition's ratio: each repetition already
+    reports a min-of-pairs quotient, and taking the best repetition
+    discards the ones a co-tenant stomped on entirely.
+    """
+    ratios = []
+    for bench in benchmarks:
+        base = bench.get("run_name", bench.get("name", ""))
+        # The registration pins iterations, which google-benchmark encodes
+        # in the name ("BM_TelemetryOverhead/iterations:25"), so match on
+        # the prefix.
+        if not base.startswith(TELEMETRY_NAME):
+            continue
+        if bench.get("run_type", "iteration") == "aggregate":
+            continue
+        value = bench.get(TELEMETRY_COUNTER)
+        if isinstance(value, (int, float)) and value > 0:
+            ratios.append(value)
+    return min(ratios) if ratios else None
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("baseline")
@@ -83,10 +126,16 @@ def main():
                         help="max allowed shrink factor of the ratio (default 2.0)")
     parser.add_argument("--min-pending", type=int, default=10000,
                         help="ignore Hold shapes below this population (default 10000)")
+    parser.add_argument("--max-telemetry-overhead", type=float, default=0.05,
+                        help="max fractional cpu-time cost of an attached "
+                             "TelemetryRecorder (default 0.05 = 5%%)")
     args = parser.parse_args()
 
-    baseline = hold_ratios(load_hold_times(args.baseline), args.min_pending)
-    current = hold_ratios(load_hold_times(args.current), args.min_pending)
+    baseline_benchmarks = load_benchmarks(args.baseline)
+    current_benchmarks = load_benchmarks(args.current)
+
+    baseline = hold_ratios(hold_times(baseline_benchmarks), args.min_pending)
+    current = hold_ratios(hold_times(current_benchmarks), args.min_pending)
     shared = sorted(set(baseline) & set(current))
     if not shared:
         print("perf_compare: no comparable BM_EventQueue_Hold shapes with "
@@ -106,12 +155,28 @@ def main():
         print(f"{shape:<24} {base_ratio:>8.2f}x {cur_ratio:>8.2f}x "
               f"{floor:>8.2f}x  {'ok' if ok else 'REGRESSION'}")
 
+    base_telemetry = telemetry_ratio(baseline_benchmarks)
+    cur_telemetry = telemetry_ratio(current_benchmarks)
+    if base_telemetry is None or cur_telemetry is None:
+        print(f"perf_compare: {TELEMETRY_NAME}'s {TELEMETRY_COUNTER} counter "
+              f"missing from {'baseline' if base_telemetry is None else 'current'}"
+              " -- regenerate the baseline with the telemetry benchmark in "
+              "the filter", file=sys.stderr)
+        return 2
+    ceiling = 1.0 + args.max_telemetry_overhead
+    telemetry_ok = cur_telemetry <= ceiling
+    failures += 0 if telemetry_ok else 1
+    print(f"{'telemetry-overhead':<24} {base_telemetry:>8.3f}x "
+          f"{cur_telemetry:>8.3f}x {ceiling:>8.3f}x  "
+          f"{'ok' if telemetry_ok else 'REGRESSION'} (ceiling)")
+
     if failures:
-        print(f"\nperf_compare: {failures}/{len(shared)} shape(s) lost more "
-              f"than {args.tolerance}x of their calendar-vs-heap speedup",
-              file=sys.stderr)
+        print(f"\nperf_compare: {failures} gate(s) failed "
+              f"(speedup floor {args.tolerance}x, telemetry ceiling "
+              f"{ceiling:.3f}x)", file=sys.stderr)
         return 1
-    print(f"\nperf_compare: all {len(shared)} shape(s) within tolerance")
+    print(f"\nperf_compare: all {len(shared)} Hold shape(s) and the "
+          "telemetry-overhead gate within tolerance")
     return 0
 
 

@@ -25,6 +25,8 @@ bool is_float_field(const std::string& key) {
       // result
       "max_global_skew", "max_local_skew", "global_skew_bound",
       "local_skew_floor",
+      // result.series (schema v3); the peak_* fields are counters
+      "mean_global_skew", "max_envelope_ratio",
       // run_stats
       "total_jump", "first_clamped_time",
       // timing

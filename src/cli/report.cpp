@@ -1,0 +1,173 @@
+#include "cli/report.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hpp"
+#include "harness/serialize.hpp"
+#include "obs/recorder.hpp"
+#include "util/json.hpp"
+
+namespace gcs::cli {
+
+namespace json = gcs::util::json;
+
+namespace {
+
+// One decoded cell, reduced to what the report prints.
+struct Row {
+  std::string label;
+  std::string workload;  // scenario kind, or "static:<topology>"
+  harness::ExperimentConfig config;
+  double observed = 0.0;   // result.max_global_skew
+  double bound = 0.0;      // result.global_skew_bound
+  double ratio = 0.0;      // observed / bound
+  double env_ratio = 0.0;  // result.series.max_envelope_ratio
+  std::uint64_t messages = 0;
+  std::uint64_t violations = 0;  // global + envelope
+};
+
+std::string num(double v) { return json::dump_number(v); }
+
+// The sweep axes the per-axis section aggregates over.  Values are
+// rendered as strings; std::map keeps both axis and value order
+// deterministic (lexicographic, which is all the byte-stability
+// self-check needs).
+std::vector<std::pair<std::string, std::string>> axis_values(const Row& row) {
+  const harness::ExperimentConfig& c = row.config;
+  return {
+      {"delay", c.delay},
+      {"delivery", c.delivery},
+      {"drift", c.drift},
+      {"engine", c.engine},
+      {"n", num(static_cast<double>(c.params.n))},
+      {"seed", num(static_cast<double>(c.seed))},
+      {"workload", row.workload},
+  };
+}
+
+}  // namespace
+
+int write_report(const std::string& tree_dir, const ReportOptions& options,
+                 std::ostream& out) {
+  const std::map<std::string, json::Value> docs =
+      harness::load_cell_documents(tree_dir);
+
+  std::vector<Row> rows;
+  std::vector<std::string> skipped;
+  for (const auto& [label, doc] : docs) {
+    try {
+      Row row;
+      row.label = label;
+      row.config = harness::config_from_json(doc.at("config"));
+      const harness::ExperimentResult result =
+          harness::result_from_json(doc.at("result"));
+      if (const json::Value* spec = doc.find("scenario");
+          spec != nullptr && spec->is_object()) {
+        row.workload = spec->at("kind").as_string();
+      } else {
+        row.workload = "static:" + row.config.topology;
+      }
+      row.observed = result.max_global_skew;
+      row.bound = result.global_skew_bound;
+      row.ratio = row.bound > 0.0 ? row.observed / row.bound : 0.0;
+      row.env_ratio = result.series.max_envelope_ratio;
+      row.violations = result.global_violations + result.envelope_violations;
+      row.messages = result.run_stats.messages_sent;
+      rows.push_back(std::move(row));
+    } catch (const std::exception& e) {
+      skipped.push_back(label + ": " + e.what());
+    }
+  }
+
+  out << "gcs_report: " << tree_dir << "\n";
+  out << "cells: " << rows.size() << " decoded, " << skipped.size()
+      << " skipped\n";
+  for (const std::string& s : skipped) out << "  SKIPPED " << s << "\n";
+
+  std::uint64_t total_violations = 0;
+  for (const Row& row : rows) total_violations += row.violations;
+  out << "violations: " << total_violations << "\n";
+
+  // Per-cell table (docs is a sorted map, so rows are in label order).
+  out << "\nper-cell observed/bound\n";
+  out << "  ratio  env_ratio  observed  bound  messages  cell\n";
+  for (const Row& row : rows) {
+    out << "  " << num(row.ratio) << "  " << num(row.env_ratio) << "  "
+        << num(row.observed) << "  " << num(row.bound) << "  " << row.messages
+        << "  " << row.label << "\n";
+  }
+
+  // Tightest cells: highest observed/bound ratio first, label as the
+  // deterministic tie-break.
+  std::vector<const Row*> tightest;
+  tightest.reserve(rows.size());
+  for (const Row& row : rows) tightest.push_back(&row);
+  std::sort(tightest.begin(), tightest.end(), [](const Row* a, const Row* b) {
+    if (a->ratio != b->ratio) return a->ratio > b->ratio;
+    return a->label < b->label;
+  });
+  const std::size_t k = std::min(options.top_k, tightest.size());
+  out << "\ntop " << k << " tightest cells (observed/bound)\n";
+  for (std::size_t i = 0; i < k; ++i) {
+    out << "  " << (i + 1) << ". " << num(tightest[i]->ratio) << "  "
+        << tightest[i]->label << "\n";
+  }
+
+  // Per-axis aggregation: mean/max ratio per value of each sweep axis.
+  std::map<std::string, std::map<std::string, obs::StreamStat>> axes;
+  for (const Row& row : rows) {
+    for (const auto& [axis, value] : axis_values(row)) {
+      axes[axis][value].add(row.ratio);
+    }
+  }
+  out << "\nper-axis observed/bound ratio\n";
+  for (const auto& [axis, values] : axes) {
+    for (const auto& [value, stat] : values) {
+      out << "  " << axis << "=" << value << ": cells " << stat.count()
+          << ", mean " << num(stat.mean()) << ", max " << num(stat.max())
+          << "\n";
+    }
+  }
+
+  // Distribution of the ratios over [0, 1); a cell past 1 violated the
+  // analytic bound and lands in the overflow bin.
+  obs::FixedHistogram hist(0.0, 1.0, 10);
+  for (const Row& row : rows) hist.add(row.ratio);
+  out << "\nratio histogram [0, 1) x10\n";
+  for (std::size_t i = 0; i < hist.counts().size(); ++i) {
+    out << "  [" << num(hist.bin_lo(i)) << ", " << num(hist.bin_lo(i + 1))
+        << "): " << hist.counts()[i] << "\n";
+  }
+  out << "  overflow (bound violated): " << hist.overflow() << "\n";
+
+  if (options.frontier) {
+    // Skew-vs-message-cost frontier: what each (delta_h, B0) setting buys.
+    // Sorted by message cost so the accuracy-for-traffic trade reads top
+    // to bottom; label breaks ties deterministically.
+    std::vector<const Row*> frontier;
+    frontier.reserve(rows.size());
+    for (const Row& row : rows) frontier.push_back(&row);
+    std::sort(frontier.begin(), frontier.end(),
+              [](const Row* a, const Row* b) {
+                if (a->messages != b->messages) return a->messages < b->messages;
+                return a->label < b->label;
+              });
+    out << "\nskew-vs-message-cost frontier\n";
+    out << "  messages  delta_h  B0  observed  ratio  cell\n";
+    for (const Row* row : frontier) {
+      out << "  " << row->messages << "  " << num(row->config.params.delta_h)
+          << "  " << num(row->config.params.effective_b0()) << "  "
+          << num(row->observed) << "  " << num(row->ratio) << "  "
+          << row->label << "\n";
+    }
+  }
+
+  return skipped.empty() ? 0 : 1;
+}
+
+}  // namespace gcs::cli

@@ -8,6 +8,7 @@
 #include <filesystem>
 #include <fstream>
 #include <mutex>
+#include <optional>
 #include <ostream>
 #include <set>
 #include <sstream>
@@ -16,6 +17,7 @@
 #include <utility>
 
 #include "harness/serialize.hpp"
+#include "obs/telemetry.hpp"
 #include "util/json.hpp"
 
 namespace gcs::cli {
@@ -218,12 +220,21 @@ int run_campaign(const Campaign& campaign, const RunnerOptions& options,
     CellExecution& ex = slots[i];
     ex.outcome.label = cell.label;
 
+    // Telemetry probe, when asked for: series rows always, the bounded
+    // trace only under --trace.  The recorder is passive, so attaching
+    // it cannot change any result byte (the determinism tests gate it).
+    std::optional<gcs::obs::TelemetryRecorder> recorder;
+    if (options.series || options.trace) {
+      recorder.emplace(options.trace ? options.trace_limit : 0);
+    }
+
     // A throwing cell (bad axis value, n < 2, ...) is recorded and the
     // campaign keeps going: a red run must still leave a complete results
     // tree for CI to upload.
     const auto start = std::chrono::steady_clock::now();
     try {
-      ex.outcome.result = harness::run_experiment(instantiate(cell));
+      ex.outcome.result = harness::run_experiment(
+          instantiate(cell), recorder ? &*recorder : nullptr);
     } catch (const std::exception& e) {
       ex.outcome.failures.push_back(std::string("failed to run: ") + e.what());
       ex.outcome.errored = true;
@@ -249,6 +260,18 @@ int run_campaign(const Campaign& campaign, const RunnerOptions& options,
           events_per_sec);
       const fs::path cell_path = out_dir / "cells" / file_names[i];
       write_file(cell_path, json::dump(doc, 2) + "\n");
+      // file_names[i] always ends in ".json"; the telemetry artifacts
+      // share its stem so a cell's files sort together.
+      const std::string stem =
+          file_names[i].substr(0, file_names[i].size() - 5);
+      if (options.series) {
+        write_file(out_dir / "cells" / (stem + ".series.csv"),
+                   recorder->series_csv());
+      }
+      if (options.trace) {
+        write_file(out_dir / "cells" / (stem + ".trace.jsonl"),
+                   recorder->trace_jsonl());
+      }
       ex.csv_line =
           csv_row(campaign, cell, result, wall_ms, events_per_sec) + "\n";
       ex.jsonl_line = json::dump(doc) + "\n";

@@ -6,10 +6,19 @@
 //   <out>/
 //     cells/<file>.json    per-cell document: config echo + result + timing
 //                          (<file> is the sanitized cell label)
+//     cells/<file>.series.csv    with `series`: the per-sample_dt
+//                          observation time series (obs::TelemetryRecorder)
+//     cells/<file>.trace.jsonl   with `trace`: the bounded structured
+//                          event trace, meta line first
 //     campaign.csv         one row per cell (kCsvHeader; CI diffs this)
 //     campaign.jsonl       the per-cell documents again, one compact line
 //                          each, for jq-style slicing
 //     summary.json         campaign name, cell/failure counts, worst skews
+//
+// Series and trace bytes are trajectory-derived only (no timing, no
+// engine-policy-specific counters), so they are byte-identical across
+// --jobs values AND across engine policies; tests/
+// run_telemetry_determinism.cmake enforces both.
 //
 // Cells are independent (each gets its own engine, clocks, and RNG
 // streams inside run_experiment), so with `jobs > 1` they execute on a
@@ -52,6 +61,13 @@ struct RunnerOptions {
   // CSV, JSONL, summary) so two runs of the same campaign are
   // byte-identical.  Progress lines still show real timing.
   bool fixed_timing = false;
+  // Write cells/<file>.series.csv: one row per sample_dt tick (skews,
+  // envelope ratio, live edges, in-flight, engine pending).
+  bool series = false;
+  // Write cells/<file>.trace.jsonl: structured simulator events, bounded
+  // to trace_limit kept records by deterministic geometric decimation.
+  bool trace = false;
+  std::uint64_t trace_limit = 4096;
 };
 
 // The exact campaign.csv header line (no trailing newline).  The e2e test

@@ -18,6 +18,8 @@ NetworkSimulation::NetworkSimulation(const SyncParams& params,
       bfunc_(params),
       delay_(std::move(delay)),
       options_(options),
+      recorder_(options.recorder),
+      trace_(options.recorder != nullptr && options.recorder->wants_trace()),
       rng_(options.seed),
       audit_sweep_(graph.initial_edges(), graph.events(),
                    params.T + params.D),
@@ -76,9 +78,13 @@ void NetworkSimulation::run_until(sim::Time t) {
   }
 }
 
-void NetworkSimulation::schedule_periodic(sim::Time start, sim::Duration period,
-                                          std::function<void(sim::Time)> fn) {
-  engine_.every(start, period, std::move(fn));
+sim::PeriodicId NetworkSimulation::schedule_periodic(
+    sim::Time start, sim::Duration period, std::function<void(sim::Time)> fn) {
+  return engine_.every(start, period, std::move(fn));
+}
+
+void NetworkSimulation::cancel_periodic(sim::PeriodicId id) {
+  engine_.cancel_every(id);
 }
 
 double NetworkSimulation::logical_clock(NodeId u) const {
@@ -111,6 +117,10 @@ double NetworkSimulation::edge_age(const net::Edge& e) const {
 
 void NetworkSimulation::apply_event(const net::TopologyEvent& ev) {
   ++stats_.topology_events_applied;
+  if (trace_) {
+    recorder_->on_trace({obs::TraceEvent::Kind::kTopology, engine_.now(),
+                         ev.edge.u, ev.edge.v, 0.0, 0.0, ev.add});
+  }
   if (ev.add) {
     add_edge(ev.edge, engine_.now(), false);
   } else {
@@ -171,6 +181,10 @@ void NetworkSimulation::send(NodeId from, NodeId to, double value,
   double d = delay_.sample(e, rng_);
   d = std::clamp(d, 1e-12, delay_.bound);  // the model promises delay <= T
   ++stats_.messages_sent;
+  if (trace_) {
+    recorder_->on_trace(
+        {obs::TraceEvent::Kind::kSend, t, from, to, value, t + d, false});
+  }
   if (!options_.batched_delivery) {
     ++stats_.delivery_events;
     engine_.at(t + d, [this, from, to, value, incarnation] {
@@ -224,15 +238,27 @@ void NetworkSimulation::deliver(NodeId from, NodeId to, double value,
   auto it = edges_.find(e);
   if (it == edges_.end() || it->second.incarnation != incarnation) {
     ++stats_.messages_dropped;
+    if (trace_) {
+      recorder_->on_trace({obs::TraceEvent::Kind::kDrop, engine_.now(), from,
+                           to, value, 0.0, false});
+    }
     return;
   }
   ++stats_.messages_delivered;
+  if (trace_) {
+    recorder_->on_trace({obs::TraceEvent::Kind::kDeliver, engine_.now(), from,
+                         to, value, 0.0, false});
+  }
   const double hw = clocks_[to].value_at(engine_.now());
   nodes_[to]->on_message(from, value, hw);
   const double jump = nodes_[to]->step(hw);
   if (jump > 0.0) {
     ++stats_.jumps;
     stats_.total_jump += jump;
+    if (trace_) {
+      recorder_->on_trace({obs::TraceEvent::Kind::kJump, engine_.now(), to,
+                           from, jump, 0.0, false});
+    }
   }
   if (options_.check_conformance) {
     check_edge_conformance(e);
@@ -254,8 +280,14 @@ void NetworkSimulation::check_edge_conformance(const net::Edge& e) {
   // holding, so checking against it never reports a false violation.
   const double age_hw = (1.0 - params_.rho) * (engine_.now() - it->second.up_time);
   const double allowed = bfunc_(age_hw) + options_.conformance_slack;
-  if (std::abs(skew(e.u, e.v)) > allowed) {
+  const double observed = std::abs(skew(e.u, e.v));
+  const bool violated = observed > allowed;
+  if (violated) {
     ++stats_.conformance_envelope_failures;
+  }
+  if (trace_) {
+    recorder_->on_trace({obs::TraceEvent::Kind::kConformance, engine_.now(),
+                         e.u, e.v, observed, allowed, violated});
   }
 }
 

@@ -29,6 +29,7 @@
 #include "core/params.hpp"
 #include "net/delay.hpp"
 #include "net/dynamic_graph.hpp"
+#include "obs/recorder.hpp"
 #include "sim/engine.hpp"
 #include "util/rng.hpp"
 
@@ -47,6 +48,13 @@ struct SimOptions {
   // it); only the engine event count changes -- by ~average degree on
   // dense graphs under constant delay.
   bool batched_delivery = true;
+  // Passive observer for structured trace records (send, deliver, drop,
+  // jump, topology delta, conformance check).  Null (the default) makes
+  // every emission site a single predicted-not-taken branch; a recorder
+  // never schedules events or draws randomness, so attaching one leaves
+  // the trajectory bit-identical (the obs tests prove it).  Not owned;
+  // must outlive the simulation.
+  obs::Recorder* recorder = nullptr;
 };
 
 struct RunStats {
@@ -92,8 +100,12 @@ class NetworkSimulation {
   NetworkSimulation& operator=(const NetworkSimulation&) = delete;
 
   void run_until(sim::Time t);
-  void schedule_periodic(sim::Time start, sim::Duration period,
-                         std::function<void(sim::Time)> fn);
+  // Forwards to Engine::every / Engine::cancel_every: the returned
+  // handle detaches the sampler cleanly (probes that outlive their
+  // usefulness stop firing instead of sampling a dead observer).
+  sim::PeriodicId schedule_periodic(sim::Time start, sim::Duration period,
+                                    std::function<void(sim::Time)> fn);
+  void cancel_periodic(sim::PeriodicId id);
 
   double logical_clock(NodeId u) const;
   double hardware_clock(NodeId u) const;
@@ -107,6 +119,12 @@ class NetworkSimulation {
 
   sim::Time now() const { return engine_.now(); }
   std::uint64_t events_executed() const { return engine_.events_executed(); }
+  // Events currently queued in the engine -- the "queue depth" a
+  // per-interval observation stream wants.
+  std::size_t engine_pending() const { return engine_.pending(); }
+  // Scheduler-health counters (high-water pending, heap ops vs calendar
+  // probes/rebuilds); describes the scheduler, not the trajectory.
+  sim::EngineStats engine_stats() const { return engine_.stats(); }
   // Audit hook: at() calls that asked for a time in the past.  A correct
   // simulation never does; tests and the harness assert this stays zero.
   std::uint64_t engine_clamped_count() const { return engine_.clamped_count(); }
@@ -144,6 +162,11 @@ class NetworkSimulation {
   BFunction bfunc_;
   net::DelayModel delay_;
   SimOptions options_;
+  // Cached from options_.recorder: emission sites test one bool (and
+  // trace_ already folds in wants_trace(), so a series-only recorder
+  // costs nothing on the message path).
+  obs::Recorder* recorder_;
+  bool trace_;
   util::Rng rng_;
   // Incremental interval-connectivity cursor over the schedule's
   // (T+D)-windows (owns its own copy of the schedule): each run_until

@@ -87,7 +87,8 @@ bool parse_delivery(const std::string& delivery) {
 
 }  // namespace
 
-ExperimentResult run_experiment(const ExperimentConfig& cfg) {
+ExperimentResult run_experiment(const ExperimentConfig& cfg,
+                                obs::Recorder* recorder) {
   const core::SyncParams& p = cfg.params;
   if (p.n < 2) throw std::invalid_argument("run_experiment: need n >= 2");
   if (cfg.horizon <= 0.0 || cfg.sample_dt <= 0.0) {
@@ -104,6 +105,7 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   options.seed = cfg.seed;
   options.engine_policy = parse_engine(cfg.engine);
   options.batched_delivery = parse_delivery(cfg.delivery);
+  options.recorder = recorder;
   core::NetworkSimulation sim(
       p, scenario.to_dynamic_graph(), build_delay(cfg), build_schedules(cfg),
       [&p](core::NodeId) { return std::make_unique<core::DcsaNode>(p); },
@@ -116,7 +118,8 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
 
   const core::BFunction& bfunc = sim.bfunc();
   const double slack = options.conformance_slack;
-  sim.schedule_periodic(cfg.sample_dt, cfg.sample_dt, [&](sim::Time) {
+  obs::SeriesAggregator series;
+  sim.schedule_periodic(cfg.sample_dt, cfg.sample_dt, [&](sim::Time t) {
     ++result.samples;
     double lo = sim.logical_clock(0);
     double hi = lo;
@@ -125,18 +128,35 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
       lo = std::min(lo, L);
       hi = std::max(hi, L);
     }
-    const double global = hi - lo;
-    result.max_global_skew = std::max(result.max_global_skew, global);
-    if (global > result.global_skew_bound + slack) ++result.global_violations;
+    obs::SeriesSample sample;
+    sample.t = t;
+    sample.global_skew = hi - lo;
+    result.max_global_skew = std::max(result.max_global_skew, sample.global_skew);
+    if (sample.global_skew > result.global_skew_bound + slack) {
+      ++result.global_violations;
+    }
 
     for (const net::Edge& e : sim.current_edges()) {
       const double local = std::abs(sim.skew(e.u, e.v));
       result.max_local_skew = std::max(result.max_local_skew, local);
+      sample.max_local_skew = std::max(sample.max_local_skew, local);
       // Loosest envelope any conforming node could hold: hardware age of
       // the slowest admissible clock (see NetworkSimulation's checker).
       const double age_hw = (1.0 - p.rho) * sim.edge_age(e);
-      if (local > bfunc(age_hw) + slack) ++result.envelope_violations;
+      const double envelope = bfunc(age_hw);
+      if (local > envelope + slack) ++result.envelope_violations;
+      // B is bounded below by b0 > 0, so the ratio is always finite;
+      // it is the fraction of the allowed envelope this edge is using.
+      sample.max_envelope_ratio =
+          std::max(sample.max_envelope_ratio, local / envelope);
+      ++sample.live_edges;
     }
+    const core::RunStats& s = sim.stats();
+    sample.in_flight =
+        s.messages_sent - s.messages_delivered - s.messages_dropped;
+    sample.engine_pending = sim.engine_pending();
+    series.add(sample);
+    if (recorder != nullptr) recorder->on_sample(sample);
   });
 
   sim.run_until(cfg.horizon);
@@ -144,6 +164,8 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   result.events_executed = sim.events_executed();
   result.clamped_events = sim.engine_clamped_count();
   result.run_stats = sim.stats();
+  result.engine_stats = sim.engine_stats();
+  result.series = series.summary();
   // Fold in the simulator's own delivery-time envelope checks (same
   // property, denser check points).  Monotonicity failures are a
   // different defect class and stay in run_stats only.

@@ -21,6 +21,7 @@
 #include "core/network_sim.hpp"
 #include "core/params.hpp"
 #include "net/scenario.hpp"
+#include "obs/recorder.hpp"
 
 namespace gcs::harness {
 
@@ -87,9 +88,25 @@ struct ExperimentResult {
   // from hiding scheduling bugs).
   std::uint64_t clamped_events = 0;
   core::RunStats run_stats;  // includes delivery_events (batching audit)
+  // Scheduler-health counters from the engine (high-water pending, heap
+  // ops vs calendar probes/rebuilds).  These describe the scheduler, not
+  // the trajectory, so they differ between engine policies while every
+  // other field above stays bit-identical.
+  sim::EngineStats engine_stats;
+  // Whole-run digest of the per-sample_dt observation series (mean/peak
+  // skews, peak live edges / in-flight messages / engine pending).
+  // Always computed -- with or without a recorder attached -- so result
+  // bytes do not depend on whether --series was requested.
+  obs::SeriesSummary series;
 };
 
-ExperimentResult run_experiment(const ExperimentConfig& config);
+// Runs the experiment.  `recorder`, when non-null, passively observes
+// the run: it receives one obs::SeriesSample per sample_dt tick and
+// (if it wants_trace()) every structured simulator trace record.  A
+// recorder never perturbs the trajectory; results are bit-identical
+// with and without one.
+ExperimentResult run_experiment(const ExperimentConfig& config,
+                                obs::Recorder* recorder = nullptr);
 
 }  // namespace gcs::harness
 

@@ -72,6 +72,46 @@ core::RunStats run_stats_from_json(const util::json::Value& doc) {
   return stats;
 }
 
+util::json::Value to_json(const sim::EngineStats& stats) {
+  util::json::Value v;
+  v["max_pending"] = stats.max_pending;
+  v["heap_ops"] = stats.heap_ops;
+  v["calendar_resizes"] = stats.calendar_resizes;
+  v["calendar_bucket_scans"] = stats.calendar_bucket_scans;
+  return v;
+}
+
+sim::EngineStats engine_stats_from_json(const util::json::Value& doc) {
+  sim::EngineStats stats;
+  stats.max_pending = req_u64(doc, "max_pending");
+  stats.heap_ops = req_u64(doc, "heap_ops");
+  stats.calendar_resizes = req_u64(doc, "calendar_resizes");
+  stats.calendar_bucket_scans = req_u64(doc, "calendar_bucket_scans");
+  return stats;
+}
+
+util::json::Value to_json(const obs::SeriesSummary& series) {
+  util::json::Value v;
+  v["points"] = series.points;
+  v["mean_global_skew"] = series.mean_global_skew;
+  v["max_envelope_ratio"] = series.max_envelope_ratio;
+  v["peak_live_edges"] = series.peak_live_edges;
+  v["peak_in_flight"] = series.peak_in_flight;
+  v["peak_engine_pending"] = series.peak_engine_pending;
+  return v;
+}
+
+obs::SeriesSummary series_summary_from_json(const util::json::Value& doc) {
+  obs::SeriesSummary series;
+  series.points = req_u64(doc, "points");
+  series.mean_global_skew = req_num(doc, "mean_global_skew");
+  series.max_envelope_ratio = req_num(doc, "max_envelope_ratio");
+  series.peak_live_edges = req_u64(doc, "peak_live_edges");
+  series.peak_in_flight = req_u64(doc, "peak_in_flight");
+  series.peak_engine_pending = req_u64(doc, "peak_engine_pending");
+  return series;
+}
+
 util::json::Value to_json(const ExperimentResult& result) {
   util::json::Value v;
   v["schema_version"] = kResultSchemaVersion;
@@ -86,6 +126,8 @@ util::json::Value to_json(const ExperimentResult& result) {
   v["events_executed"] = result.events_executed;
   v["clamped_events"] = result.clamped_events;
   v["run_stats"] = to_json(result.run_stats);
+  v["engine_stats"] = to_json(result.engine_stats);
+  v["series"] = to_json(result.series);
   return v;
 }
 
@@ -108,6 +150,8 @@ ExperimentResult result_from_json(const util::json::Value& doc) {
   result.events_executed = req_u64(doc, "events_executed");
   result.clamped_events = req_u64(doc, "clamped_events");
   result.run_stats = run_stats_from_json(doc.at("run_stats"));
+  result.engine_stats = engine_stats_from_json(doc.at("engine_stats"));
+  result.series = series_summary_from_json(doc.at("series"));
   return result;
 }
 

@@ -30,10 +30,20 @@ namespace gcs::harness {
 //        including the first-clamped (time, seq) audit pair.
 //   2 -- run_stats gains the (T+D)-interval-connectivity audit pair
 //        connectivity_windows_checked / connectivity_windows_disconnected.
-inline constexpr int kResultSchemaVersion = 2;
+//   3 -- result gains the "engine_stats" (sim::EngineStats: max pending,
+//        heap ops, calendar resizes/bucket scans) and "series"
+//        (obs::SeriesSummary: per-sample_dt observation digest)
+//        subobjects.
+inline constexpr int kResultSchemaVersion = 3;
 
 util::json::Value to_json(const core::RunStats& stats);
 core::RunStats run_stats_from_json(const util::json::Value& doc);
+
+util::json::Value to_json(const sim::EngineStats& stats);
+sim::EngineStats engine_stats_from_json(const util::json::Value& doc);
+
+util::json::Value to_json(const obs::SeriesSummary& series);
+obs::SeriesSummary series_summary_from_json(const util::json::Value& doc);
 
 // The result document: all ExperimentResult fields, a "run_stats"
 // subobject, and "schema_version".

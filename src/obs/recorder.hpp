@@ -1,0 +1,185 @@
+// gcs::obs -- the observability probe layer.
+//
+// A Recorder is a passive observer the simulation stack can be pointed
+// at: NetworkSimulation emits structured TraceEvents (send, deliver,
+// drop, jump, topology delta, conformance check) and run_experiment
+// emits one SeriesSample per sample_dt tick.  The default is no recorder
+// at all (a null pointer), so the uninstrumented path pays one branch
+// per emission site and nothing else.
+//
+// Determinism contract: recorders OBSERVE, they never schedule events,
+// sample randomness, or read wall clocks, so a run with a recorder
+// attached is bit-identical in trajectory to the same run without one.
+// The aggregators below are plain fold-left arithmetic in emission order
+// (no RNG, no reservoir sampling), so their outputs -- and every byte
+// derived from them -- are deterministic too.
+#ifndef GCS_OBS_RECORDER_HPP
+#define GCS_OBS_RECORDER_HPP
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace gcs::obs {
+
+// One structured trace record.  The fixed (a, b, v1, v2, flag) payload
+// keeps the record POD-cheap at the emission site; what each field means
+// depends on the kind:
+//
+//   kSend         a=from  b=to    v1=value        v2=delivery time
+//   kDeliver      a=from  b=to    v1=value
+//   kDrop         a=from  b=to    v1=value        (edge died in flight)
+//   kJump         a=node  b=from  v1=jump size    (clock jumped on rx)
+//   kTopology     a,b = edge      flag=true for add, false for remove
+//   kConformance  a,b = edge      v1=|skew|  v2=allowed  flag=violation
+struct TraceEvent {
+  enum class Kind : std::uint8_t {
+    kSend,
+    kDeliver,
+    kDrop,
+    kJump,
+    kTopology,
+    kConformance,
+  };
+  Kind kind = Kind::kSend;
+  double t = 0.0;
+  std::uint32_t a = 0;
+  std::uint32_t b = 0;
+  double v1 = 0.0;
+  double v2 = 0.0;
+  bool flag = false;
+};
+
+const char* kind_name(TraceEvent::Kind kind);
+
+// One per-interval observation row, computed by run_experiment at every
+// sample_dt tick from state it reads anyway.
+struct SeriesSample {
+  double t = 0.0;
+  double global_skew = 0.0;      // max - min over all logical clocks
+  double max_local_skew = 0.0;   // max |skew| over live edges
+  double max_envelope_ratio = 0.0;  // max |skew| / B(age_hw) over edges
+  std::uint64_t live_edges = 0;
+  std::uint64_t in_flight = 0;       // sent - delivered - dropped
+  std::uint64_t engine_pending = 0;  // events queued in the engine
+};
+
+// Whole-run digest of the series, carried in every ExperimentResult
+// (schema v3) whether or not a recorder was attached -- the fold is
+// cheap and keeping it unconditional keeps result bytes independent of
+// --series.
+struct SeriesSummary {
+  std::uint64_t points = 0;
+  double mean_global_skew = 0.0;
+  double max_envelope_ratio = 0.0;
+  std::uint64_t peak_live_edges = 0;
+  std::uint64_t peak_in_flight = 0;
+  std::uint64_t peak_engine_pending = 0;
+};
+
+// The probe interface.  Emission sites hold a Recorder* that is null by
+// default; every virtual below is a no-op so a subclass overrides only
+// what it wants.  wants_trace() gates the per-message TraceEvent
+// construction -- callers cache it once, so a series-only recorder pays
+// nothing on the message path.
+class Recorder {
+ public:
+  virtual ~Recorder() = default;
+  virtual void on_trace(const TraceEvent& event) { (void)event; }
+  virtual void on_sample(const SeriesSample& sample) { (void)sample; }
+  virtual bool wants_trace() const { return false; }
+};
+
+// Streaming min/max/mean/count over doubles: exact fold in add() order.
+class StreamStat {
+ public:
+  void add(double x) {
+    if (count_ == 0 || x < min_) min_ = x;
+    if (count_ == 0 || x > max_) max_ = x;
+    sum_ += x;
+    ++count_;
+  }
+  std::uint64_t count() const { return count_; }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+  double mean() const {
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+  }
+
+ private:
+  std::uint64_t count_ = 0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+// Fixed-bin histogram over [lo, hi): bin widths are fixed at
+// construction (never rebalanced, so counts are deterministic in add()
+// order), with explicit underflow/overflow bins instead of clamping.
+class FixedHistogram {
+ public:
+  FixedHistogram(double lo, double hi, std::size_t bins)
+      : lo_(lo), width_((hi - lo) / static_cast<double>(bins)),
+        counts_(bins, 0) {}
+
+  void add(double x) {
+    if (x < lo_) {
+      ++underflow_;
+      return;
+    }
+    const auto bin = static_cast<std::size_t>((x - lo_) / width_);
+    if (bin >= counts_.size()) {
+      ++overflow_;
+      return;
+    }
+    ++counts_[bin];
+  }
+
+  double bin_lo(std::size_t bin) const {
+    return lo_ + width_ * static_cast<double>(bin);
+  }
+  const std::vector<std::uint64_t>& counts() const { return counts_; }
+  std::uint64_t underflow() const { return underflow_; }
+  std::uint64_t overflow() const { return overflow_; }
+  std::uint64_t total() const {
+    std::uint64_t t = underflow_ + overflow_;
+    for (const std::uint64_t c : counts_) t += c;
+    return t;
+  }
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+};
+
+// Folds SeriesSamples into the SeriesSummary every result carries.
+class SeriesAggregator {
+ public:
+  void add(const SeriesSample& s) {
+    ++summary_.points;
+    global_.add(s.global_skew);
+    summary_.max_envelope_ratio =
+        std::max(summary_.max_envelope_ratio, s.max_envelope_ratio);
+    summary_.peak_live_edges = std::max(summary_.peak_live_edges, s.live_edges);
+    summary_.peak_in_flight = std::max(summary_.peak_in_flight, s.in_flight);
+    summary_.peak_engine_pending =
+        std::max(summary_.peak_engine_pending, s.engine_pending);
+  }
+  SeriesSummary summary() const {
+    SeriesSummary out = summary_;
+    out.mean_global_skew = global_.mean();
+    return out;
+  }
+
+ private:
+  SeriesSummary summary_;
+  StreamStat global_;
+};
+
+}  // namespace gcs::obs
+
+#endif  // GCS_OBS_RECORDER_HPP

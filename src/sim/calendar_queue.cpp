@@ -56,6 +56,7 @@ CalendarQueue::Bucket* CalendarQueue::locate_min() {
   // is the global minimum (equal times always share a bucket, hence ties
   // cannot span buckets).
   for (std::size_t scanned = 0; scanned < buckets_.size(); ++scanned) {
+    ++scan_steps_;
     Bucket& b = buckets_[current_bucket_];
     if (b.pending() > 0 && year_of(b.events[b.head].t) <= year_) return &b;
     current_bucket_ = current_bucket_ + 1 == buckets_.size()
@@ -68,6 +69,7 @@ CalendarQueue::Bucket* CalendarQueue::locate_min() {
   const ScheduledEvent* best = nullptr;
   std::size_t best_idx = 0;
   for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    ++scan_steps_;
     const Bucket& b = buckets_[i];
     if (b.pending() == 0) continue;
     const ScheduledEvent& front = b.events[b.head];

@@ -57,6 +57,10 @@ class CalendarQueue {
   std::size_t bucket_count() const { return buckets_.size(); }
   std::uint64_t resizes() const { return resizes_; }
   double bucket_width() const { return width_; }
+  // Bucket probes performed by locate_min (scan-loop steps plus
+  // fallback-lap visits): the calendar queue's cost driver, surfaced in
+  // sim::EngineStats so a mis-sized calendar shows up in result files.
+  std::uint64_t scan_steps() const { return scan_steps_; }
 
  private:
   // Pending events are events[head..end), sorted by (t, seq).  Popping
@@ -98,6 +102,7 @@ class CalendarQueue {
   std::size_t current_bucket_ = 0;
   double year_ = 0.0;
   std::uint64_t resizes_ = 0;
+  std::uint64_t scan_steps_ = 0;
 };
 
 }  // namespace gcs::sim

@@ -21,12 +21,15 @@ void Engine::at(Time t, std::function<void()> fn) {
   if (policy_ == EnginePolicy::kHeap) {
     heap_.push_back(std::move(ev));
     std::push_heap(heap_.begin(), heap_.end(), Later{});
+    ++heap_ops_;
   } else {
     calendar_.push(std::move(ev));
   }
+  max_pending_ = std::max<std::uint64_t>(max_pending_, pending());
 }
 
-void Engine::every(Time first, Duration period, std::function<void(Time)> fn) {
+PeriodicId Engine::every(Time first, Duration period,
+                         std::function<void(Time)> fn) {
   struct Chain {
     Engine* engine;
     Duration period;
@@ -35,9 +38,11 @@ void Engine::every(Time first, Duration period, std::function<void(Time)> fn) {
   };
   auto chain = std::make_shared<Chain>(Chain{this, period, std::move(fn), {}});
   // The engine owns the chain; scheduled events capture only a weak_ptr,
-  // so there is no shared_ptr cycle and destroying the engine frees every
-  // periodic callback.
-  periodic_chains_.push_back(chain);
+  // so there is no shared_ptr cycle, destroying the engine frees every
+  // periodic callback, and cancel_every only has to drop the owning
+  // reference.
+  const PeriodicId id = next_periodic_id_++;
+  periodic_chains_.emplace_back(id, chain);
   std::weak_ptr<Chain> weak = chain;
   chain->fire = [weak](Time t) {
     auto c = weak.lock();
@@ -50,12 +55,23 @@ void Engine::every(Time first, Duration period, std::function<void(Time)> fn) {
   at(first, [weak, first] {
     if (auto c = weak.lock()) c->fire(first);
   });
+  return id;
+}
+
+void Engine::cancel_every(PeriodicId id) {
+  for (auto it = periodic_chains_.begin(); it != periodic_chains_.end(); ++it) {
+    if (it->first == id) {
+      periodic_chains_.erase(it);
+      return;
+    }
+  }
 }
 
 void Engine::run_until(Time horizon) {
   if (policy_ == EnginePolicy::kHeap) {
     while (!heap_.empty() && heap_.front().t <= horizon) {
       std::pop_heap(heap_.begin(), heap_.end(), Later{});
+      ++heap_ops_;
       ScheduledEvent ev = std::move(heap_.back());
       heap_.pop_back();
       now_ = std::max(now_, ev.t);

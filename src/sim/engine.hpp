@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "sim/calendar_queue.hpp"
@@ -33,6 +34,25 @@ using Time = double;
 using Duration = double;
 
 enum class EnginePolicy { kCalendar, kHeap };
+
+// Handle returned by every(); pass to cancel_every() to detach the
+// periodic callback.
+using PeriodicId = std::uint64_t;
+
+// Scheduler-health counters, composed on demand by Engine::stats().
+// max_pending is the queue's high-water mark; the policy-specific
+// counters expose what each scheduler actually did (heap sift
+// operations vs. calendar bucket probes and rebuilds), so result files
+// record WHY one policy outran the other, not just that it did.  The
+// stats legitimately differ between policies -- they describe the
+// scheduler, not the trajectory -- so they belong in result documents,
+// never in trajectory-derived artifacts like series CSVs.
+struct EngineStats {
+  std::uint64_t max_pending = 0;
+  std::uint64_t heap_ops = 0;               // kHeap: push_heap + pop_heap
+  std::uint64_t calendar_resizes = 0;       // kCalendar: bucket rebuilds
+  std::uint64_t calendar_bucket_scans = 0;  // kCalendar: locate_min probes
+};
 
 class Engine {
  public:
@@ -48,10 +68,18 @@ class Engine {
   void at(Time t, std::function<void()> fn);
 
   // Self-rescheduling periodic callback: fires at `first`, `first +
-  // period`, ...  There is no cancellation; a periodic callback simply
-  // stops being serviced once run_until() is never called past its next
-  // firing time.
-  void every(Time first, Duration period, std::function<void(Time)> fn);
+  // period`, ...  Returns a handle for cancel_every(); an uncancelled
+  // callback simply stops being serviced once run_until() is never
+  // called past its next firing time.
+  PeriodicId every(Time first, Duration period, std::function<void(Time)> fn);
+
+  // Detaches the periodic callback created by every(): its callable is
+  // destroyed now and it never fires again.  The already-scheduled next
+  // firing stays in the queue as an inert event (events hold only weak
+  // references into the chain), so cancellation cannot perturb the
+  // (t, seq) order of anything else.  Unknown or already-cancelled ids
+  // are ignored.
+  void cancel_every(PeriodicId id);
 
   // Executes every pending event with timestamp <= horizon, including
   // events scheduled by callbacks during the run, in (time, seq) order.
@@ -71,6 +99,15 @@ class Engine {
   Time first_clamped_time() const { return first_clamped_time_; }
   std::uint64_t first_clamped_seq() const { return first_clamped_seq_; }
   EnginePolicy policy() const { return policy_; }
+  // Scheduler-health counters (see EngineStats above).
+  EngineStats stats() const {
+    EngineStats s;
+    s.max_pending = max_pending_;
+    s.heap_ops = heap_ops_;
+    s.calendar_resizes = calendar_.resizes();
+    s.calendar_bucket_scans = calendar_.scan_steps();
+    return s;
+  }
 
  private:
   struct Later {
@@ -83,12 +120,17 @@ class Engine {
   EnginePolicy policy_;
   std::vector<ScheduledEvent> heap_;  // kHeap: min-heap via std::push_heap
   CalendarQueue calendar_;            // kCalendar
-  // Owners of the self-rescheduling chains created by every(); scheduled
-  // events only hold weak references into these.
-  std::vector<std::shared_ptr<void>> periodic_chains_;
+  // Owners of the self-rescheduling chains created by every(), keyed by
+  // the PeriodicId handed back to the caller; scheduled events only hold
+  // weak references into these, so erasing an entry (cancel_every) makes
+  // the chain's future firings no-ops.
+  std::vector<std::pair<PeriodicId, std::shared_ptr<void>>> periodic_chains_;
+  PeriodicId next_periodic_id_ = 0;
   Time now_ = 0.0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
+  std::uint64_t max_pending_ = 0;
+  std::uint64_t heap_ops_ = 0;
   std::uint64_t clamped_ = 0;
   Time first_clamped_time_ = 0.0;
   std::uint64_t first_clamped_seq_ = 0;

@@ -1,0 +1,59 @@
+# Executes every `gcs_run` / `gcs_report` one-liner documented in
+# docs/observability.md, in order, so the walkthrough cannot rot.  Unlike
+# run_scenario_docs.cmake the commands run VERBATIM in a shared scratch
+# directory (with campaigns/ copied in): the report lines consume the
+# results trees the run lines wrote, so order and --out paths are part of
+# the documented contract.
+#
+# Usage:
+#   cmake -DGCS_RUN=<path> -DGCS_REPORT=<path> -DSRC_DIR=<repo root>
+#         -DOUT_DIR=<scratch> -DDOC=<docs/observability.md>
+#         -P run_observability_docs.cmake
+
+foreach(var GCS_RUN GCS_REPORT SRC_DIR OUT_DIR DOC)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "run_observability_docs.cmake: -D${var}=... is required")
+  endif()
+endforeach()
+
+file(REMOVE_RECURSE ${OUT_DIR})
+file(MAKE_DIRECTORY ${OUT_DIR})
+file(COPY ${SRC_DIR}/campaigns DESTINATION ${OUT_DIR})
+
+file(READ ${DOC} doc_text)
+string(REGEX MATCHALL "\n(gcs_run|gcs_report) [^\n]*" doc_lines "${doc_text}")
+set(run_count 0)
+set(report_count 0)
+foreach(raw IN LISTS doc_lines)
+  string(STRIP "${raw}" line)
+  if(line MATCHES "^gcs_run ")
+    set(binary ${GCS_RUN})
+    math(EXPR run_count "${run_count} + 1")
+    string(REGEX REPLACE "^gcs_run " "" args "${line}")
+  else()
+    set(binary ${GCS_REPORT})
+    math(EXPR report_count "${report_count} + 1")
+    string(REGEX REPLACE "^gcs_report " "" args "${line}")
+  endif()
+  separate_arguments(arg_list UNIX_COMMAND "${args}")
+  execute_process(
+    COMMAND ${binary} ${arg_list}
+    WORKING_DIRECTORY ${OUT_DIR}
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+            "documented one-liner failed (exit ${rc}):\n  ${line}\n${out}${err}")
+  endif()
+  message(STATUS "ok: ${line}")
+endforeach()
+
+# The walkthrough must keep demonstrating both halves of the pipeline.
+if(run_count LESS 2 OR report_count LESS 2)
+  message(FATAL_ERROR
+          "expected >= 2 gcs_run and >= 2 gcs_report one-liners in ${DOC}, "
+          "found ${run_count} run / ${report_count} report")
+endif()
+message(STATUS "${run_count} gcs_run + ${report_count} gcs_report "
+        "documented one-liner(s) OK")

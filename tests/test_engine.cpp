@@ -122,6 +122,55 @@ TEST_P(EngineTest, PeriodicCallbackFiresOnSchedule) {
   EXPECT_DOUBLE_EQ(fire_times.back(), 3.0);
 }
 
+TEST_P(EngineTest, CancelledPeriodicStopsFiringOthersContinue) {
+  Engine engine = make_engine();
+  std::vector<double> kept_times;
+  int cancelled_fires = 0;
+  const gcs::sim::PeriodicId doomed =
+      engine.every(1.0, 1.0, [&](gcs::sim::Time) { ++cancelled_fires; });
+  engine.every(1.0, 1.0, [&](gcs::sim::Time t) { kept_times.push_back(t); });
+
+  // Cancel mid-run: the firing already in the queue at t=3 is a weak
+  // reference to a destroyed chain, so it stays inert; every tick after
+  // the cancellation point must come from the surviving chain only.
+  engine.at(2.5, [&] { engine.cancel_every(doomed); });
+  engine.run_until(5.0);
+
+  EXPECT_EQ(cancelled_fires, 2);  // t = 1, 2; the t = 3 firing was inert
+  ASSERT_EQ(kept_times.size(), 5u);  // 1, 2, 3, 4, 5
+  EXPECT_DOUBLE_EQ(kept_times.back(), 5.0);
+}
+
+TEST_P(EngineTest, CancelEveryIgnoresUnknownIdsAndIsIdempotent) {
+  Engine engine = make_engine();
+  int fires = 0;
+  const gcs::sim::PeriodicId id =
+      engine.every(1.0, 1.0, [&](gcs::sim::Time) { ++fires; });
+  engine.cancel_every(id + 1000);  // unknown: a no-op, not an error
+  engine.cancel_every(id);
+  engine.cancel_every(id);  // double-cancel is fine too
+  engine.run_until(4.0);
+  EXPECT_EQ(fires, 0);
+}
+
+TEST_P(EngineTest, StatsTrackPendingHighWater) {
+  Engine engine = make_engine();
+  for (int i = 0; i < 32; ++i) {
+    engine.at(static_cast<double>(i), [] {});
+  }
+  engine.run_until(100.0);
+  const gcs::sim::EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.max_pending, 32u);
+  // Exactly one of the policy counters is active for this engine.
+  if (GetParam() == gcs::sim::EnginePolicy::kHeap) {
+    EXPECT_GT(stats.heap_ops, 0u);
+    EXPECT_EQ(stats.calendar_bucket_scans, 0u);
+  } else {
+    EXPECT_EQ(stats.heap_ops, 0u);
+    EXPECT_GT(stats.calendar_bucket_scans, 0u);
+  }
+}
+
 TEST_P(EngineTest, DeterministicAcrossIdenticalRuns) {
   auto run = [this] {
     Engine engine = make_engine();

@@ -56,6 +56,58 @@ TEST(CsvField, QuotesOnlyWhenNeeded) {
   EXPECT_EQ(cli::csv_field(""), "");
 }
 
+TEST(Runner, SeriesAndTraceArtifactsAppearOnlyWhenRequested) {
+  const fs::path off_dir = fresh_dir("telemetry-off");
+  const fs::path on_dir = fresh_dir("telemetry-on");
+  const cli::Campaign campaign = small_campaign();
+
+  cli::RunnerOptions options;
+  options.quiet = true;
+  options.fixed_timing = true;
+  std::ostringstream log;
+
+  options.out_dir = off_dir.string();
+  ASSERT_EQ(cli::run_campaign(campaign, options, log), 0);
+  options.series = true;
+  options.trace = true;
+  options.trace_limit = 32;
+  options.out_dir = on_dir.string();
+  ASSERT_EQ(cli::run_campaign(campaign, options, log), 0);
+
+  std::size_t cells = 0;
+  for (const auto& entry : fs::directory_iterator(on_dir / "cells")) {
+    const fs::path p = entry.path();
+    if (p.extension() != ".json") continue;
+    ++cells;
+    const fs::path stem = p.stem();
+    const fs::path series = on_dir / "cells" / (stem.string() + ".series.csv");
+    const fs::path trace = on_dir / "cells" / (stem.string() + ".trace.jsonl");
+    ASSERT_TRUE(fs::exists(series)) << series;
+    ASSERT_TRUE(fs::exists(trace)) << trace;
+    // One header plus horizon/sample_dt rows.
+    const std::string csv = read_file(series);
+    EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 21);
+    EXPECT_EQ(csv.rfind("t,global_skew,", 0), 0u);
+    // Trace is bounded: meta line + at most trace_limit records.
+    const std::string jsonl = read_file(trace);
+    const auto lines = std::count(jsonl.begin(), jsonl.end(), '\n');
+    EXPECT_LE(lines, 33);
+    EXPECT_GE(lines, 2);
+    const json::Value meta =
+        json::parse(jsonl.substr(0, jsonl.find('\n')));
+    EXPECT_EQ(meta.at("kind").as_string(), "meta");
+    EXPECT_GT(meta.at("events_seen").as_u64(), 0u);
+
+    // Without the flags, neither file exists...
+    EXPECT_FALSE(fs::exists(off_dir / "cells" / series.filename()));
+    EXPECT_FALSE(fs::exists(off_dir / "cells" / trace.filename()));
+    // ...and the cell document itself is byte-identical either way:
+    // telemetry observes, it never changes results.
+    EXPECT_EQ(read_file(off_dir / "cells" / p.filename()), read_file(p));
+  }
+  EXPECT_EQ(cells, campaign.cells.size());
+}
+
 TEST(Runner, ParallelRunIsByteIdenticalToSerial) {
   const fs::path dir_a = fresh_dir("serial");
   const fs::path dir_b = fresh_dir("parallel");

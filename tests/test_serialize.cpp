@@ -74,6 +74,50 @@ TEST(Serialize, RejectsSchemaDrift) {
   json::Value no_audit = harness::to_json(run_small());
   no_audit["run_stats"].as_object().erase("connectivity_windows_disconnected");
   EXPECT_THROW(harness::result_from_json(no_audit), json::Error);
+
+  // The v3 subobjects are required whole and field by field.
+  json::Value no_engine_stats = harness::to_json(run_small());
+  no_engine_stats.as_object().erase("engine_stats");
+  EXPECT_THROW(harness::result_from_json(no_engine_stats), json::Error);
+
+  json::Value engine_stats_drift = harness::to_json(run_small());
+  engine_stats_drift["engine_stats"].as_object().erase("calendar_resizes");
+  EXPECT_THROW(harness::result_from_json(engine_stats_drift), json::Error);
+
+  json::Value no_series = harness::to_json(run_small());
+  no_series.as_object().erase("series");
+  EXPECT_THROW(harness::result_from_json(no_series), json::Error);
+
+  json::Value series_drift = harness::to_json(run_small());
+  series_drift["series"].as_object().erase("max_envelope_ratio");
+  EXPECT_THROW(harness::result_from_json(series_drift), json::Error);
+}
+
+TEST(Serialize, V3SubobjectsTravel) {
+  const harness::ExperimentResult result = run_small();
+  const harness::ExperimentResult back = harness::result_from_json(
+      json::parse(json::dump(harness::to_json(result))));
+
+  EXPECT_EQ(back.engine_stats.max_pending, result.engine_stats.max_pending);
+  EXPECT_EQ(back.engine_stats.heap_ops, result.engine_stats.heap_ops);
+  EXPECT_EQ(back.engine_stats.calendar_resizes,
+            result.engine_stats.calendar_resizes);
+  EXPECT_EQ(back.engine_stats.calendar_bucket_scans,
+            result.engine_stats.calendar_bucket_scans);
+  EXPECT_GT(back.engine_stats.max_pending, 0u);
+
+  EXPECT_EQ(back.series.points, result.series.points);
+  EXPECT_EQ(back.series.points, result.samples);
+  EXPECT_EQ(back.series.mean_global_skew, result.series.mean_global_skew);
+  EXPECT_EQ(back.series.max_envelope_ratio, result.series.max_envelope_ratio);
+  EXPECT_EQ(back.series.peak_live_edges, result.series.peak_live_edges);
+  EXPECT_EQ(back.series.peak_in_flight, result.series.peak_in_flight);
+  EXPECT_EQ(back.series.peak_engine_pending,
+            result.series.peak_engine_pending);
+  // A ring of 6 stays fully live the whole run.
+  EXPECT_EQ(back.series.peak_live_edges, 6u);
+  EXPECT_GT(back.series.max_envelope_ratio, 0.0);
+  EXPECT_LT(back.series.max_envelope_ratio, 1.0);
 }
 
 TEST(Serialize, ConfigRoundTrip) {

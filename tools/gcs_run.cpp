@@ -8,6 +8,7 @@
 // src/cli/campaign.hpp); flags overlay the file.  Exit codes: 0 success,
 // 1 check failures (bound violations, clamps, schema drift), 2 bad usage
 // or malformed campaign.
+#include <cstdint>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -34,6 +35,13 @@ options:
                     result-schema round-trip) and exit 1 on any failure
   --fixed-timing    write wall_ms/events_per_sec as 0 in all artifacts so
                     two runs of one campaign are byte-comparable
+  --series          write cells/<label>.series.csv per cell: one row per
+                    sample_dt tick (skews, B-envelope ratio, live edges,
+                    in-flight messages, engine pending)
+  --trace[=N]       write cells/<label>.trace.jsonl per cell: structured
+                    simulator events (send/deliver/drop/jump/topology/
+                    conformance), bounded to N kept records (default 4096)
+                    by deterministic decimation; meta line first
   --list            print the expanded cells and run nothing
   --quiet           suppress per-cell progress lines
   --help            this text
@@ -51,6 +59,7 @@ sweepable keys (comma lists and integer ranges a..b become axes):
 examples:
   gcs_run --campaign campaigns/smoke.json --check
   gcs_run --campaign campaigns/churn.json --jobs 4 --check
+  gcs_run --campaign campaigns/churn.json --check --series --trace=2048
   gcs_run --n=8,16,32 --topology=ring,complete --seeds=1..5
   gcs_run --n=10 --scenario=gauss-markov:alpha=0.85:backbone=false:connect_window=3.5 --check
   gcs_run --campaign campaigns/churn.json --horizon=120 --out /tmp/churn
@@ -83,6 +92,26 @@ int main(int argc, char** argv) {
     }
     if (arg == "--fixed-timing") {
       options.fixed_timing = true;
+      continue;
+    }
+    if (arg == "--series") {
+      options.series = true;
+      continue;
+    }
+    if (arg == "--trace" || arg.rfind("--trace=", 0) == 0) {
+      options.trace = true;
+      if (const std::size_t eq = arg.find('='); eq != std::string::npos) {
+        const std::string value = arg.substr(eq + 1);
+        char* end = nullptr;
+        const long long limit = std::strtoll(value.c_str(), &end, 10);
+        if (value.empty() || end != value.c_str() + value.size() ||
+            limit < 1) {
+          std::cerr << "gcs_run: --trace wants a positive integer, got '"
+                    << value << "'\n";
+          return 2;
+        }
+        options.trace_limit = static_cast<std::uint64_t>(limit);
+      }
       continue;
     }
     if (arg.rfind("--", 0) != 0) {
