@@ -19,6 +19,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/dcsa_node.hpp"
@@ -257,6 +258,76 @@ void BM_TelemetryOverhead(benchmark::State& state) {
       ratios.empty() ? 0.0 : ratios[ratios.size() / 2];
 }
 
+// Sharded engine speedup: the same 10k-node checked-off cell run
+// shards=1 (the inline single-threaded reference) versus shards=4, back
+// to back in each iteration, exactly like BM_TelemetryOverhead's paired
+// arms: the reported `sharded_speedup_ratio` is the MEDIAN of the
+// per-pair single/sharded wall-time quotients, so common-mode machine
+// noise cancels.  `hw_threads` records the host's concurrency --
+// scripts/perf_compare.py only enforces the >= 1.5x floor when the
+// CURRENT host has >= 4 hardware threads (on fewer cores the sharded
+// arm time-slices its workers and the ratio is informational).  The two
+// arms must execute the same event count -- K-invariance -- or the
+// benchmark is voided.
+void BM_ShardedHold(benchmark::State& state) {
+  const std::size_t n = 10000;
+  gcs::core::SyncParams params;
+  params.n = n;
+  params.rho = 0.05;
+  params.T = 1.0;
+  params.D = 2.5;
+  params.delta_h = 0.5;
+
+  auto run_arm = [&params, n](std::size_t shards) {
+    std::vector<gcs::clk::RateSchedule> schedules;
+    for (std::size_t i = 0; i < n; ++i) {
+      schedules.emplace_back(i % 2 == 0 ? 1.0 + params.rho
+                                        : 1.0 - params.rho);
+    }
+    gcs::core::SimOptions options;
+    options.check_conformance = false;
+    options.seed = 7;
+    options.shards = shards;
+    gcs::core::NetworkSimulation sim(
+        params, gcs::net::DynamicGraph(n, gcs::net::make_ring(n).edges(), {}),
+        gcs::net::make_constant_delay(params.T, params.T / 2.0),
+        std::move(schedules),
+        [&params](gcs::core::NodeId) {
+          return std::make_unique<gcs::core::DcsaNode>(params);
+        },
+        options);
+    sim.run_until(4.0);
+    return sim.events_executed();
+  };
+
+  using BenchClock = std::chrono::steady_clock;
+  std::vector<double> ratios;
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    const auto t0 = BenchClock::now();
+    const std::uint64_t single = run_arm(1);
+    const auto t1 = BenchClock::now();
+    const std::uint64_t sharded = run_arm(4);
+    const auto t2 = BenchClock::now();
+    if (single != sharded) {
+      state.SkipWithError("sharded arm executed a different event count");
+      return;
+    }
+    events = single;
+    const double single_s = std::chrono::duration<double>(t1 - t0).count();
+    const double sharded_s = std::chrono::duration<double>(t2 - t1).count();
+    if (sharded_s > 0.0) ratios.push_back(single_s / sharded_s);
+  }
+  std::sort(ratios.begin(), ratios.end());
+  state.SetItemsProcessed(static_cast<std::int64_t>(2 * events) *
+                          state.iterations());
+  state.counters["events_per_run"] = static_cast<double>(events);
+  state.counters["sharded_speedup_ratio"] =
+      ratios.empty() ? 0.0 : ratios[ratios.size() / 2];
+  state.counters["hw_threads"] =
+      static_cast<double>(std::thread::hardware_concurrency());
+}
+
 void BM_DcsaSimulationWithChecks(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   gcs::harness::ExperimentConfig cfg;
@@ -296,6 +367,9 @@ BENCHMARK(BM_DcsaDenseDelivery)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_TelemetryOverhead)
     ->Iterations(25)  // fixed median sample size; ~1s total
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ShardedHold)
+    ->Iterations(5)  // fixed median sample size; two 10k-node arms each
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_DcsaSimulationWithChecks)->Arg(8)->Arg(32)
     ->Unit(benchmark::kMillisecond);

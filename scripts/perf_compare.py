@@ -34,6 +34,17 @@ cancels):
    (so the committed baseline documents the overhead at the time it was
    cut).
 
+3. Sharded speedup.  ``BM_ShardedHold`` runs a 10k-node cell shards=1
+   and shards=4 back to back per iteration and reports the median
+   single/sharded wall-time quotient as ``sharded_speedup_ratio`` plus
+   the host's ``hw_threads``.  The current run's ratio must be at least
+   --min-sharded-speedup (default 1.5) -- but the floor is only ENFORCED
+   when the current host reports >= 4 hardware threads; on smaller hosts
+   (where four shards time-slice one core and the ratio measures
+   scheduler overhead, not parallelism) the ratio is printed as
+   informational.  The shapes must exist in both files either way, so a
+   renamed or dropped benchmark still fails loudly.
+
 If a benchmark was run with repetitions the median aggregate is preferred
 over the raw iterations.
 
@@ -48,6 +59,9 @@ import sys
 HOLD_PREFIX = "BM_EventQueue_Hold/"
 TELEMETRY_NAME = "BM_TelemetryOverhead"
 TELEMETRY_COUNTER = "telemetry_overhead_ratio"
+SHARDED_NAME = "BM_ShardedHold"
+SHARDED_COUNTER = "sharded_speedup_ratio"
+SHARDED_THREADS_COUNTER = "hw_threads"
 
 
 def load_benchmarks(path):
@@ -118,6 +132,32 @@ def telemetry_ratio(benchmarks):
     return min(ratios) if ratios else None
 
 
+def sharded_stats(benchmarks):
+    """(best sharded_speedup_ratio, hw_threads) or (None, None) if absent.
+
+    Best (max) over repetitions: each repetition's counter is already a
+    median of per-pair quotients, and the best repetition is the one
+    least disturbed by co-tenants.
+    """
+    ratios = []
+    threads = None
+    for bench in benchmarks:
+        base = bench.get("run_name", bench.get("name", ""))
+        # Pinned iterations encode in the name ("BM_ShardedHold/
+        # iterations:5"), so match on the prefix.
+        if not base.startswith(SHARDED_NAME):
+            continue
+        if bench.get("run_type", "iteration") == "aggregate":
+            continue
+        value = bench.get(SHARDED_COUNTER)
+        if isinstance(value, (int, float)) and value > 0:
+            ratios.append(value)
+        hw = bench.get(SHARDED_THREADS_COUNTER)
+        if isinstance(hw, (int, float)) and hw > 0:
+            threads = int(hw)
+    return (max(ratios) if ratios else None, threads)
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("baseline")
@@ -129,6 +169,10 @@ def main():
     parser.add_argument("--max-telemetry-overhead", type=float, default=0.05,
                         help="max fractional cpu-time cost of an attached "
                              "TelemetryRecorder (default 0.05 = 5%%)")
+    parser.add_argument("--min-sharded-speedup", type=float, default=1.5,
+                        help="min shards=4 vs shards=1 wall-clock ratio, "
+                             "enforced only on hosts with >= 4 hardware "
+                             "threads (default 1.5)")
     args = parser.parse_args()
 
     baseline_benchmarks = load_benchmarks(args.baseline)
@@ -170,13 +214,31 @@ def main():
           f"{cur_telemetry:>8.3f}x {ceiling:>8.3f}x  "
           f"{'ok' if telemetry_ok else 'REGRESSION'} (ceiling)")
 
+    base_sharded, _ = sharded_stats(baseline_benchmarks)
+    cur_sharded, cur_threads = sharded_stats(current_benchmarks)
+    if base_sharded is None or cur_sharded is None:
+        print(f"perf_compare: {SHARDED_NAME}'s {SHARDED_COUNTER} counter "
+              f"missing from {'baseline' if base_sharded is None else 'current'}"
+              " -- regenerate the baseline with the sharded benchmark in "
+              "the filter", file=sys.stderr)
+        return 2
+    enforced = cur_threads is not None and cur_threads >= 4
+    sharded_ok = (not enforced) or cur_sharded >= args.min_sharded_speedup
+    failures += 0 if sharded_ok else 1
+    verdict = ("ok" if sharded_ok else "REGRESSION") if enforced else \
+        f"informational ({cur_threads or '?'} hw thread(s))"
+    print(f"{'sharded-speedup':<24} {base_sharded:>8.2f}x "
+          f"{cur_sharded:>8.2f}x {args.min_sharded_speedup:>8.2f}x  {verdict}")
+
     if failures:
         print(f"\nperf_compare: {failures} gate(s) failed "
               f"(speedup floor {args.tolerance}x, telemetry ceiling "
-              f"{ceiling:.3f}x)", file=sys.stderr)
+              f"{ceiling:.3f}x, sharded floor {args.min_sharded_speedup}x)",
+              file=sys.stderr)
         return 1
-    print(f"\nperf_compare: all {len(shared)} Hold shape(s) and the "
-          "telemetry-overhead gate within tolerance")
+    print(f"\nperf_compare: all {len(shared)} Hold shape(s), the "
+          "telemetry-overhead gate, and the sharded-speedup gate within "
+          "tolerance")
     return 0
 
 

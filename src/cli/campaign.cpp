@@ -254,7 +254,7 @@ namespace {
 const char* const kAxisOrder[] = {"n",     "topology", "scenario", "drift",
                                   "delay", "engine",   "delivery", "rho",
                                   "T",     "D",        "delta_h",  "B0",
-                                  "horizon", "sample_dt", "seed"};
+                                  "horizon", "sample_dt", "shards", "seed"};
 
 bool is_known_axis(const std::string& key) {
   for (const char* axis : kAxisOrder) {

@@ -194,6 +194,14 @@ struct Differ {
           it->second.as_object().erase("name");
         }
       }
+      // The shard count is execution layout, not physics: every shard
+      // count >= 1 produces the same trajectory bytes (the determinism
+      // matrix proves it), so trees run at different counts should diff
+      // clean.  The engine_stats shard counters are already K-invariant.
+      if (const auto it = fields.find("config");
+          it != fields.end() && it->second.is_object()) {
+        it->second.as_object().erase("shards");
+      }
     }
     diff_value(cell, "", "", a_cmp, b_cmp);
     if (stats.field_diffs > before) ++stats.cells_differing;

@@ -31,6 +31,7 @@
 #include "net/dynamic_graph.hpp"
 #include "obs/recorder.hpp"
 #include "sim/engine.hpp"
+#include "sim/sharded_engine.hpp"
 #include "util/rng.hpp"
 
 namespace gcs::core {
@@ -55,6 +56,18 @@ struct SimOptions {
   // the trajectory bit-identical (the obs tests prove it).  Not owned;
   // must outlive the simulation.
   obs::Recorder* recorder = nullptr;
+  // In-cell parallelism: partition the nodes into this many shards and
+  // drive them with sim::ShardedEngine (conservative lookahead on the
+  // delay floor).  0 (the default) keeps the classic single-queue
+  // engine.  Sharded runs are their own deterministic universe -- one
+  // RNG stream per node, one delivery event per message, envelope
+  // conformance audited at sample times instead of per delivery -- and
+  // within it every observable byte is invariant across shard counts
+  // (shards=1 runs inline and IS the single-threaded reference), but a
+  // sharded run is intentionally not byte-comparable to a shards == 0
+  // run.  Requires a delay model with floor > 0; batched_delivery is
+  // ignored (cross-shard staging already batches per barrier).
+  std::size_t shards = 0;
 };
 
 struct RunStats {
@@ -117,18 +130,29 @@ class NetworkSimulation {
   // Real-time age of a live edge; negative if the edge is not present.
   double edge_age(const net::Edge& e) const;
 
-  sim::Time now() const { return engine_.now(); }
-  std::uint64_t events_executed() const { return engine_.events_executed(); }
+  // In sharded mode this is the last barrier time; shard-side callbacks
+  // never call back into these accessors mid-window (the sampler and
+  // topology hooks run at barriers, where the two notions coincide).
+  sim::Time now() const { return sharded_ ? sharded_->now() : engine_.now(); }
+  std::uint64_t events_executed() const {
+    return sharded_ ? sharded_->events_executed() : engine_.events_executed();
+  }
   // Events currently queued in the engine -- the "queue depth" a
   // per-interval observation stream wants.
-  std::size_t engine_pending() const { return engine_.pending(); }
+  std::size_t engine_pending() const {
+    return sharded_ ? sharded_->pending() : engine_.pending();
+  }
   // Scheduler-health counters (high-water pending, heap ops vs calendar
   // probes/rebuilds); describes the scheduler, not the trajectory.
-  sim::EngineStats engine_stats() const { return engine_.stats(); }
+  sim::EngineStats engine_stats() const {
+    return sharded_ ? sharded_->stats() : engine_.stats();
+  }
   // Audit hook: at() calls that asked for a time in the past.  A correct
   // simulation never does; tests and the harness assert this stays zero.
-  std::uint64_t engine_clamped_count() const { return engine_.clamped_count(); }
-  const RunStats& stats() const { return stats_; }
+  std::uint64_t engine_clamped_count() const {
+    return sharded_ ? sharded_->clamped_count() : engine_.clamped_count();
+  }
+  const RunStats& stats() const;
   const SyncParams& params() const { return params_; }
   const BFunction& bfunc() const { return bfunc_; }
   std::size_t size() const { return nodes_.size(); }
@@ -157,6 +181,17 @@ class NetworkSimulation {
   void flush_outbox();
   void deliver(NodeId from, NodeId to, double value, std::uint64_t incarnation);
   void check_edge_conformance(const net::Edge& e);
+  // Sharded-mode message path: `ctx` is the execution context doing the
+  // send (the node's shard, or global_ctx() for barrier-side discovery
+  // exchanges); delivery is staged through the sharded engine's outbox
+  // under the canonical (t, send_t, origin, index) key.
+  void send_sharded(std::size_t ctx, NodeId from, NodeId to, double value,
+                    sim::Time t);
+  void deliver_sharded(NodeId from, NodeId to, double value,
+                       std::uint64_t incarnation);
+  void push_trace(std::size_t ctx, NodeId node, const obs::TraceEvent& ev);
+  void flush_sharded_trace();
+  void compose_run_stats() const;
 
   SyncParams params_;
   BFunction bfunc_;
@@ -175,6 +210,47 @@ class NetworkSimulation {
   net::SnapshotUnionSweep audit_sweep_;
 
   sim::Engine engine_;
+  // Sharded mode (options_.shards > 0): sharded_ replaces engine_
+  // (which then stays empty), nodes map contiguously onto shards, and
+  // every node draws delays from its own seeded RNG stream so sends on
+  // different shards never contend for -- or K-variantly reorder draws
+  // from -- a shared generator.
+  std::unique_ptr<sim::ShardedEngine> sharded_;
+  std::vector<std::uint32_t> shard_of_;
+  std::vector<util::Rng> node_rngs_;
+  // Per-node running index of posted messages: the K-invariant
+  // tiebreaker in the barrier-merge key.
+  std::vector<std::uint64_t> node_msg_index_;
+  // Message counters split by execution context (one slot per shard,
+  // last slot = globals): each is written only by its owner, folded
+  // into stats_ at read time.  Padded so shards never share a line.
+  struct ShardCounters {
+    alignas(64) std::uint64_t messages_sent = 0;
+    std::uint64_t messages_delivered = 0;
+    std::uint64_t messages_dropped = 0;
+    std::uint64_t delivery_events = 0;
+    std::uint64_t jumps = 0;
+    std::uint64_t monotonicity_failures = 0;
+  };
+  std::vector<ShardCounters> shard_counters_;
+  // Jump magnitudes accumulate per node and fold in node order, so the
+  // float addition order -- and hence the serialized total -- is the
+  // same for every shard count.
+  std::vector<double> node_jump_;
+  // Recorder passthrough: on_trace calls must arrive in a K-invariant
+  // order (TelemetryRecorder's decimation is order-sensitive), but
+  // shards emit concurrently.  Each context buffers its records tagged
+  // with a canonical sort key -- (t, globals-first, node, per-node
+  // emission seq) -- and run_until merges and feeds them afterwards.
+  struct PendingTrace {
+    obs::TraceEvent ev;
+    std::uint32_t node = 0;
+    std::uint64_t seq = 0;
+    bool global = false;
+  };
+  std::vector<std::vector<PendingTrace>> trace_bufs_;
+  std::vector<std::uint64_t> node_trace_seq_;
+  std::uint64_t global_trace_seq_ = 0;
   std::vector<clk::HardwareClock> clocks_;
   std::vector<std::unique_ptr<NodeAutomaton>> nodes_;
   std::vector<std::vector<NodeId>> adjacency_;
@@ -185,7 +261,10 @@ class NetworkSimulation {
   // Batched mode: messages staged by the current flush scope in send
   // order; flush_outbox sort-groups them by exact delivery instant.
   std::vector<std::pair<sim::Time, Delivery>> outbox_;
-  RunStats stats_;
+  // mutable because sharded mode composes the message counters from
+  // shard_counters_/node_jump_ inside the const stats() accessor; the
+  // plain path writes it directly, exactly as before.
+  mutable RunStats stats_;
 };
 
 }  // namespace gcs::core

@@ -57,7 +57,25 @@ std::vector<clk::RateSchedule> build_schedules(const ExperimentConfig& cfg) {
 
 net::DelayModel build_delay(const ExperimentConfig& cfg) {
   const double T = cfg.params.T;
-  if (cfg.delay == "uniform") return net::make_uniform_delay(T, 0.0, T);
+  const std::string kUniform = "uniform";
+  if (cfg.delay.rfind(kUniform, 0) == 0 &&
+      (cfg.delay.size() == kUniform.size() ||
+       cfg.delay[kUniform.size()] == ':')) {
+    // "uniform" = [0, T]; "uniform:lo" = [lo, T]; "uniform:lo:hi".  A
+    // positive lo gives the delay model the floor sharded runs need.
+    double lo = 0.0;
+    double hi = T;
+    if (cfg.delay.size() > kUniform.size()) {
+      const std::string rest = cfg.delay.substr(kUniform.size() + 1);
+      const std::size_t colon = rest.find(':');
+      lo = std::stod(rest.substr(0, colon));
+      if (colon != std::string::npos) hi = std::stod(rest.substr(colon + 1));
+    }
+    if (lo < 0.0) {
+      throw std::invalid_argument("run_experiment: uniform delay lo < 0");
+    }
+    return net::make_uniform_delay(T, lo, hi);
+  }
   const std::string kConstant = "constant";
   if (cfg.delay.rfind(kConstant, 0) == 0) {
     double value = T;
@@ -106,6 +124,7 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg,
   options.engine_policy = parse_engine(cfg.engine);
   options.batched_delivery = parse_delivery(cfg.delivery);
   options.recorder = recorder;
+  options.shards = static_cast<std::size_t>(cfg.shards);
   core::NetworkSimulation sim(
       p, scenario.to_dynamic_graph(), build_delay(cfg), build_schedules(cfg),
       [&p](core::NodeId) { return std::make_unique<core::DcsaNode>(p); },

@@ -39,8 +39,10 @@ struct ExperimentConfig {
   // (half the nodes at 1+rho, half at 1-rho).
   std::string drift = "spread";
 
-  // Delay model: "uniform" (uniform over [0, T]) or "constant[:x]"
-  // (exactly x, default T).
+  // Delay model: "uniform[:lo[:hi]]" (uniform over [lo, hi], defaults
+  // [0, T]) or "constant[:x]" (exactly x, default T).  Sharded runs need
+  // a positive delay floor, i.e. a constant delay or uniform with
+  // lo > 0.
   std::string delay = "uniform";
 
   // Event-engine scheduler: "calendar" (calendar queue, the scale path)
@@ -54,6 +56,12 @@ struct ExperimentConfig {
   // Also trajectory-neutral; only event counts differ.  Overrides
   // options.batched_delivery the same way.
   std::string delivery = "batched";
+  // In-cell shard count for the conservative-parallel engine; 0 keeps
+  // the classic single-queue engine.  Overrides options.shards the same
+  // way `engine` overrides options.engine_policy.  Every shard count
+  // >= 1 produces the same bytes (the determinism matrix proves it), so
+  // this is purely a wall-clock knob within the sharded universe.
+  std::uint64_t shards = 0;
 
   // Samples fire at sample_dt, 2*sample_dt, ...; the engine executes
   // events with t <= horizon under BOTH scheduler policies, so a sample

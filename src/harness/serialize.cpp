@@ -78,6 +78,8 @@ util::json::Value to_json(const sim::EngineStats& stats) {
   v["heap_ops"] = stats.heap_ops;
   v["calendar_resizes"] = stats.calendar_resizes;
   v["calendar_bucket_scans"] = stats.calendar_bucket_scans;
+  v["shard_windows"] = stats.shard_windows;
+  v["shard_staged_events"] = stats.shard_staged_events;
   return v;
 }
 
@@ -87,6 +89,8 @@ sim::EngineStats engine_stats_from_json(const util::json::Value& doc) {
   stats.heap_ops = req_u64(doc, "heap_ops");
   stats.calendar_resizes = req_u64(doc, "calendar_resizes");
   stats.calendar_bucket_scans = req_u64(doc, "calendar_bucket_scans");
+  stats.shard_windows = req_u64(doc, "shard_windows");
+  stats.shard_staged_events = req_u64(doc, "shard_staged_events");
   return stats;
 }
 
@@ -169,6 +173,7 @@ util::json::Value config_to_json(const ExperimentConfig& config) {
   v["delay"] = config.delay;
   v["engine"] = config.engine;
   v["delivery"] = config.delivery;
+  v["shards"] = config.shards;
   v["horizon"] = config.horizon;
   v["sample_dt"] = config.sample_dt;
   v["seed"] = config.seed;
@@ -179,7 +184,7 @@ ExperimentConfig config_from_json(const util::json::Value& doc) {
   static const std::set<std::string> kKnown = {
       "name",   "n",     "rho",      "T",         "D",    "delta_h",
       "B0",     "topology", "drift", "delay",     "engine", "delivery",
-      "horizon", "sample_dt", "seed"};
+      "shards", "horizon", "sample_dt", "seed"};
   for (const auto& [key, value] : doc.as_object()) {
     (void)value;
     if (kKnown.count(key) == 0) {
@@ -203,6 +208,7 @@ ExperimentConfig config_from_json(const util::json::Value& doc) {
   if (const auto* v = doc.find("delay")) config.delay = v->as_string();
   if (const auto* v = doc.find("engine")) config.engine = v->as_string();
   if (const auto* v = doc.find("delivery")) config.delivery = v->as_string();
+  if (const auto* v = doc.find("shards")) config.shards = v->as_u64();
   if (const auto* v = doc.find("horizon")) config.horizon = v->as_number();
   if (const auto* v = doc.find("sample_dt")) config.sample_dt = v->as_number();
   if (const auto* v = doc.find("seed")) config.seed = v->as_u64();

@@ -34,7 +34,10 @@ namespace gcs::harness {
 //        heap ops, calendar resizes/bucket scans) and "series"
 //        (obs::SeriesSummary: per-sample_dt observation digest)
 //        subobjects.
-inline constexpr int kResultSchemaVersion = 3;
+//   4 -- config echo gains "shards" (in-cell shard count for the
+//        conservative-parallel engine); engine_stats gains
+//        shard_windows / shard_staged_events.
+inline constexpr int kResultSchemaVersion = 4;
 
 util::json::Value to_json(const core::RunStats& stats);
 core::RunStats run_stats_from_json(const util::json::Value& doc);

@@ -1,5 +1,6 @@
 #include "net/delay.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace gcs::net {
@@ -10,6 +11,7 @@ DelayModel make_constant_delay(sim::Duration bound, sim::Duration value) {
   }
   DelayModel m;
   m.bound = bound;
+  m.floor = std::clamp(value, 0.0, bound);
   m.sample = [value](const Edge&, util::Rng&) { return value; };
   return m;
 }
@@ -21,6 +23,7 @@ DelayModel make_uniform_delay(sim::Duration bound, sim::Duration lo,
   }
   DelayModel m;
   m.bound = bound;
+  m.floor = std::clamp(lo, 0.0, bound);
   m.sample = [lo, hi](const Edge&, util::Rng& rng) {
     return rng.uniform(lo, hi);
   };

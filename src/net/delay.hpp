@@ -4,6 +4,15 @@
 // within T (SyncParams::T).  A DelayModel carries that bound plus a
 // sampler; the simulator clamps every sample into (0, bound] so a buggy
 // model can never violate the assumption the proofs rest on.
+//
+// The symmetric assumption -- every message takes AT LEAST `floor` -- is
+// the conservative-lookahead window of the sharded engine: during a
+// barrier window of width `floor`, no shard can receive anything sent in
+// the same window, so shards may run concurrently without ever seeing an
+// event out of order.  floor == 0 means "no usable lookahead" (sharded
+// mode refuses to run); in sharded mode the simulator clamps samples
+// into [floor, bound] so a sampler that lies about its minimum cannot
+// break the lookahead contract silently.
 #ifndef GCS_NET_DELAY_HPP
 #define GCS_NET_DELAY_HPP
 
@@ -17,6 +26,9 @@ namespace gcs::net {
 
 struct DelayModel {
   sim::Duration bound = 1.0;
+  // Guaranteed minimum of every sample (see header comment); the
+  // factories derive it from their parameters.
+  sim::Duration floor = 0.0;
   std::function<sim::Duration(const Edge&, util::Rng&)> sample;
 };
 

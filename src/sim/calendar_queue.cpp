@@ -83,6 +83,13 @@ CalendarQueue::Bucket* CalendarQueue::locate_min() {
   return &buckets_[best_idx];
 }
 
+bool CalendarQueue::min_time(double* out) {
+  if (size_ == 0) return false;
+  Bucket& b = *locate_min();
+  *out = b.events[b.head].t;
+  return true;
+}
+
 bool CalendarQueue::pop_if_leq(double horizon, ScheduledEvent* out) {
   if (size_ == 0) return false;
   Bucket& b = *locate_min();

@@ -50,6 +50,11 @@ class CalendarQueue {
   // and returns false.
   bool pop_if_leq(double horizon, ScheduledEvent* out);
 
+  // Time of the minimum pending event without removing it; false when
+  // empty.  Advances the scan cursor exactly as a pop would, so a peek
+  // followed by the pop pays for the bucket walk once.
+  bool min_time(double* out);
+
   std::size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
 

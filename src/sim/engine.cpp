@@ -1,7 +1,10 @@
 #include "sim/engine.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <memory>
+#include <stdexcept>
+#include <string>
 #include <utility>
 
 namespace gcs::sim {
@@ -9,6 +12,12 @@ namespace gcs::sim {
 Engine::Engine(EnginePolicy policy) : policy_(policy) {}
 
 void Engine::at(Time t, std::function<void()> fn) {
+  // Reject before any queue or clamp math runs, so a bad timestamp has
+  // the same (absence of) effect under both policies.
+  if (!std::isfinite(t)) {
+    throw std::invalid_argument("Engine::at: non-finite time " +
+                                std::to_string(t));
+  }
   if (t < now_) {
     if (clamped_ == 0) {
       first_clamped_time_ = t;
@@ -30,6 +39,17 @@ void Engine::at(Time t, std::function<void()> fn) {
 
 PeriodicId Engine::every(Time first, Duration period,
                          std::function<void(Time)> fn) {
+  if (!std::isfinite(first)) {
+    throw std::invalid_argument("Engine::every: non-finite first time " +
+                                std::to_string(first));
+  }
+  if (!std::isfinite(period) || period <= 0.0) {
+    // A chain with period <= 0 re-fires at a non-advancing timestamp:
+    // run_until would pop it forever without progressing.
+    throw std::invalid_argument("Engine::every: period must be finite and "
+                                "positive, got " +
+                                std::to_string(period));
+  }
   struct Chain {
     Engine* engine;
     Duration period;
@@ -40,20 +60,31 @@ PeriodicId Engine::every(Time first, Duration period,
   // The engine owns the chain; scheduled events capture only a weak_ptr,
   // so there is no shared_ptr cycle, destroying the engine frees every
   // periodic callback, and cancel_every only has to drop the owning
-  // reference.
+  // reference.  A firing whose chain is gone is inert: it un-counts
+  // itself from the inert ledger as it pops (the engine outlives its
+  // queues, so the raw `self` pointer is safe wherever the event runs).
   const PeriodicId id = next_periodic_id_++;
   periodic_chains_.emplace_back(id, chain);
   std::weak_ptr<Chain> weak = chain;
-  chain->fire = [weak](Time t) {
+  Engine* const self = this;
+  chain->fire = [weak, self](Time t) {
     auto c = weak.lock();
     if (!c) return;
     c->fn(t);
-    c->engine->at(t + c->period, [weak, next = t + c->period] {
-      if (auto c2 = weak.lock()) c2->fire(next);
+    c->engine->at(t + c->period, [weak, self, next = t + c->period] {
+      if (auto c2 = weak.lock()) {
+        c2->fire(next);
+      } else {
+        --self->inert_pending_;
+      }
     });
   };
-  at(first, [weak, first] {
-    if (auto c = weak.lock()) c->fire(first);
+  at(first, [weak, self, first] {
+    if (auto c = weak.lock()) {
+      c->fire(first);
+    } else {
+      --self->inert_pending_;
+    }
   });
   return id;
 }
@@ -62,9 +93,21 @@ void Engine::cancel_every(PeriodicId id) {
   for (auto it = periodic_chains_.begin(); it != periodic_chains_.end(); ++it) {
     if (it->first == id) {
       periodic_chains_.erase(it);
+      // An alive chain always has exactly one firing queued; it just
+      // became inert, so take it out of the pending accounting now.
+      ++inert_pending_;
       return;
     }
   }
+}
+
+bool Engine::next_time(Time* out) {
+  if (policy_ == EnginePolicy::kHeap) {
+    if (heap_.empty()) return false;
+    *out = heap_.front().t;
+    return true;
+  }
+  return calendar_.min_time(out);
 }
 
 void Engine::run_until(Time horizon) {

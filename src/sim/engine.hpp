@@ -52,6 +52,13 @@ struct EngineStats {
   std::uint64_t heap_ops = 0;               // kHeap: push_heap + pop_heap
   std::uint64_t calendar_resizes = 0;       // kCalendar: bucket rebuilds
   std::uint64_t calendar_bucket_scans = 0;  // kCalendar: locate_min probes
+  // Sharded-engine counters (sim::ShardedEngine): barrier windows run and
+  // cross-shard events staged through outboxes.  Always zero on a plain
+  // single-queue engine; in sharded mode these are the only scheduler
+  // counters that are invariant across shard counts, so the per-shard
+  // policy counters above are reported as zero there.
+  std::uint64_t shard_windows = 0;
+  std::uint64_t shard_staged_events = 0;
 };
 
 class Engine {
@@ -65,20 +72,29 @@ class Engine {
   // -- and increments clamped_count().  Well-formed callers never
   // schedule in the past; tests and the harness assert the counter stays
   // zero so the clamp cannot silently hide scheduling bugs.
+  // Non-finite times throw std::invalid_argument under BOTH policies: a
+  // NaN poisons the calendar's year arithmetic (every comparison in
+  // locate_min is false, so the event becomes unreachable and stalls the
+  // scan) and an Inf breaks width estimation, so neither may enter any
+  // queue.
   void at(Time t, std::function<void()> fn);
 
   // Self-rescheduling periodic callback: fires at `first`, `first +
   // period`, ...  Returns a handle for cancel_every(); an uncancelled
   // callback simply stops being serviced once run_until() is never
   // called past its next firing time.
+  // Throws std::invalid_argument unless `first` is finite and `period` is
+  // finite and positive: a period <= 0 builds a chain that re-fires at
+  // the same timestamp forever, livelocking run_until().
   PeriodicId every(Time first, Duration period, std::function<void(Time)> fn);
 
   // Detaches the periodic callback created by every(): its callable is
   // destroyed now and it never fires again.  The already-scheduled next
   // firing stays in the queue as an inert event (events hold only weak
   // references into the chain), so cancellation cannot perturb the
-  // (t, seq) order of anything else.  Unknown or already-cancelled ids
-  // are ignored.
+  // (t, seq) order of anything else.  Inert events are excluded from
+  // pending() and the max_pending high-water mark -- they are queue
+  // residue, not workload.  Unknown or already-cancelled ids are ignored.
   void cancel_every(PeriodicId id);
 
   // Executes every pending event with timestamp <= horizon, including
@@ -86,10 +102,22 @@ class Engine {
   // Advances now() to max(now, horizon).
   void run_until(Time horizon);
 
+  // If any event is pending, stores the earliest pending timestamp in
+  // *out and returns true.  Non-const because the calendar advances its
+  // scan cursor to the minimum (the same walk the next pop would do, so
+  // the peek is effectively free).  Counts a cancelled periodic's inert
+  // leftover like any event: it still occupies a (t, seq) slot.
+  bool next_time(Time* out);
+
   Time now() const { return now_; }
   std::uint64_t events_executed() const { return executed_; }
   std::size_t pending() const {
-    return policy_ == EnginePolicy::kHeap ? heap_.size() : calendar_.size();
+    const std::size_t raw =
+        policy_ == EnginePolicy::kHeap ? heap_.size() : calendar_.size();
+    // inert_pending_ can exceed the queued residue only transiently,
+    // inside a periodic callback that cancels itself (the chain's next
+    // firing is counted as inert before it is physically scheduled).
+    return raw > inert_pending_ ? raw - inert_pending_ : 0;
   }
   // Number of at() calls that asked for a time strictly before now().
   std::uint64_t clamped_count() const { return clamped_; }
@@ -129,6 +157,11 @@ class Engine {
   Time now_ = 0.0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
+  // Queued events whose periodic chain has been cancelled: physically in
+  // a queue (preserving everyone else's (t, seq) order) but guaranteed
+  // no-ops.  Incremented by cancel_every, decremented when the inert
+  // event pops; pending() subtracts it.
+  std::size_t inert_pending_ = 0;
   std::uint64_t max_pending_ = 0;
   std::uint64_t heap_ops_ = 0;
   std::uint64_t clamped_ = 0;

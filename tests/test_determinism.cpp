@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -15,6 +16,7 @@
 #include "core/network_sim.hpp"
 #include "net/delay.hpp"
 #include "net/scenario.hpp"
+#include "net/topology.hpp"
 #include "net/trace.hpp"
 #include "util/rng.hpp"
 
@@ -218,6 +220,128 @@ TEST(DeterminismMatrix, CompleteGraphBatchingCoalesces) {
   EXPECT_EQ(stats_unbatched.delivery_events, stats_unbatched.messages_sent);
   EXPECT_LE(stats_batched.delivery_events * (n - 2),
             stats_batched.messages_sent);
+}
+
+// ---------------------------------------------------------------------------
+// The sharded universe: options.shards >= 1 runs the conservative-
+// parallel engine on the delay floor.  Its contract is K-invariance --
+// every observable byte identical across shard counts and queue
+// policies, with shards=1 (inline, threadless) as the reference.  A
+// sharded run is intentionally NOT compared against shards=0: per-node
+// RNG streams and per-message delivery events make it a separate
+// deterministic universe.
+// ---------------------------------------------------------------------------
+
+Trace run_sharded(const gcs::net::Scenario& scenario, EnginePolicy policy,
+                  std::size_t shards, double horizon) {
+  const SyncParams p = test_params(scenario.n);
+  SimOptions options;
+  options.seed = 1234;
+  options.engine_policy = policy;
+  options.shards = shards;
+  NetworkSimulation sim(
+      p, scenario.to_dynamic_graph(),
+      // lo = 0.25 gives the positive delay floor sharded mode needs.
+      gcs::net::make_uniform_delay(p.T, 0.25, p.T), walk_schedules(p, 99),
+      [&p](gcs::core::NodeId) { return std::make_unique<gcs::core::DcsaNode>(p); },
+      options);
+  Trace trace;
+  sim.schedule_periodic(0.25, 0.25, [&](gcs::sim::Time) {
+    for (std::size_t i = 0; i < sim.size(); ++i) {
+      trace.clocks.push_back(sim.logical_clock(static_cast<gcs::core::NodeId>(i)));
+    }
+  });
+  sim.run_until(horizon);
+  trace.messages_sent = sim.stats().messages_sent;
+  trace.messages_delivered = sim.stats().messages_delivered;
+  trace.messages_dropped = sim.stats().messages_dropped;
+  trace.delivery_events = sim.stats().delivery_events;
+  trace.jumps = sim.stats().jumps;
+  trace.clamped = sim.engine_clamped_count();
+  return trace;
+}
+
+void expect_identical_across_shard_counts(const gcs::net::Scenario& scenario,
+                                          double horizon) {
+  const Trace base = run_sharded(scenario, EnginePolicy::kCalendar, 1, horizon);
+  ASSERT_FALSE(base.clocks.empty());
+  EXPECT_GT(base.messages_delivered, 0u);
+  EXPECT_EQ(base.clamped, 0u);
+  // One engine event per message in sharded mode: the staging path has
+  // no same-instant coalescing to do.
+  EXPECT_EQ(base.delivery_events, base.messages_sent);
+  const struct {
+    EnginePolicy policy;
+    std::size_t shards;
+    const char* name;
+  } modes[] = {
+      {EnginePolicy::kHeap, 1, "shards1/heap"},
+      {EnginePolicy::kCalendar, 2, "shards2/calendar"},
+      {EnginePolicy::kCalendar, 4, "shards4/calendar"},
+      {EnginePolicy::kHeap, 4, "shards4/heap"},
+  };
+  for (const auto& mode : modes) {
+    const Trace got = run_sharded(scenario, mode.policy, mode.shards, horizon);
+    EXPECT_EQ(base.clocks, got.clocks) << scenario.name << " " << mode.name;
+    EXPECT_EQ(base.messages_sent, got.messages_sent) << mode.name;
+    EXPECT_EQ(base.messages_delivered, got.messages_delivered) << mode.name;
+    EXPECT_EQ(base.messages_dropped, got.messages_dropped) << mode.name;
+    EXPECT_EQ(base.delivery_events, got.delivery_events) << mode.name;
+    EXPECT_EQ(base.jumps, got.jumps) << mode.name;
+    EXPECT_EQ(got.clamped, 0u) << mode.name;
+  }
+}
+
+TEST(DeterminismMatrixSharded, ChurnScenario) {
+  gcs::util::Rng rng(7);
+  expect_identical_across_shard_counts(
+      gcs::net::make_churn_scenario(12, 6, 8.0, 40.0, rng), 40.0);
+}
+
+TEST(DeterminismMatrixSharded, SwitchingStarScenario) {
+  expect_identical_across_shard_counts(
+      gcs::net::make_switching_star_scenario(10, 5.0, 1.0, 40.0), 40.0);
+}
+
+TEST(DeterminismMatrixSharded, GaussMarkovScenario) {
+  gcs::util::Rng rng(33);
+  expect_identical_across_shard_counts(
+      gcs::net::make_gauss_markov_scenario(10, /*radius=*/0.35,
+                                           /*mean_speed=*/0.04, /*alpha=*/0.8,
+                                           /*speed_sigma=*/0.01,
+                                           /*dir_sigma=*/0.5, /*update_dt=*/1.0,
+                                           40.0, /*backbone=*/true, rng),
+      40.0);
+}
+
+TEST(DeterminismMatrixSharded, MoreShardsThanNodesClampsAndStaysInvariant) {
+  // shards > n must not break anything: the simulator clamps to one
+  // shard per node and the trajectory stays the reference one.
+  gcs::util::Rng rng(7);
+  const gcs::net::Scenario scenario =
+      gcs::net::make_churn_scenario(12, 6, 8.0, 40.0, rng);
+  const Trace base = run_sharded(scenario, EnginePolicy::kCalendar, 1, 40.0);
+  const Trace wide = run_sharded(scenario, EnginePolicy::kCalendar, 64, 40.0);
+  EXPECT_EQ(base.clocks, wide.clocks);
+  EXPECT_EQ(base.messages_delivered, wide.messages_delivered);
+}
+
+TEST(DeterminismMatrixSharded, RefusesZeroFloorDelay) {
+  // A delay model without a positive floor gives the conservative engine
+  // no lookahead; construction must fail loudly with guidance, not
+  // deadlock or violate the contract at the first barrier.
+  const SyncParams p = test_params(8);
+  SimOptions options;
+  options.shards = 2;
+  EXPECT_THROW(
+      NetworkSimulation(
+          p, gcs::net::DynamicGraph(8, gcs::net::make_ring(8).edges(), {}),
+          gcs::net::make_uniform_delay(p.T, 0.0, p.T), walk_schedules(p, 99),
+          [&p](gcs::core::NodeId) {
+            return std::make_unique<gcs::core::DcsaNode>(p);
+          },
+          options),
+      std::invalid_argument);
 }
 
 }  // namespace

@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+#include <stdexcept>
 #include <string>
 #include <utility>
 #include <vector>
@@ -220,6 +222,91 @@ TEST_P(EngineTest, MillionEventSmoke) {
   EXPECT_EQ(engine.events_executed(), n);
   EXPECT_EQ(engine.pending(), 0u);
   EXPECT_EQ(engine.clamped_count(), 0u);
+}
+
+TEST_P(EngineTest, AtRejectsNonFiniteTimes) {
+  // A NaN or infinite timestamp must fail loudly under BOTH policies: the
+  // calendar's bucket math would silently corrupt on it (NaN compares
+  // false with everything, so it slips past the clamp), and the heap
+  // would order it arbitrarily.
+  Engine engine = make_engine();
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(engine.at(nan, [] {}), std::invalid_argument);
+  EXPECT_THROW(engine.at(inf, [] {}), std::invalid_argument);
+  EXPECT_THROW(engine.at(-inf, [] {}), std::invalid_argument);
+  // The rejects left nothing behind and the engine still works.
+  EXPECT_EQ(engine.pending(), 0u);
+  EXPECT_EQ(engine.clamped_count(), 0u);
+  int fired = 0;
+  engine.at(1.0, [&] { ++fired; });
+  engine.run_until(2.0);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST_P(EngineTest, EveryRejectsNonPositiveOrNonFinitePeriods) {
+  // every() with period <= 0 (or any non-finite argument) used to enqueue
+  // a chain that reschedules itself at the same instant forever -- a
+  // livelock the first run_until() never returns from.  It must throw
+  // instead, before anything is queued.
+  Engine engine = make_engine();
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(engine.every(1.0, 0.0, [](gcs::sim::Time) {}),
+               std::invalid_argument);
+  EXPECT_THROW(engine.every(1.0, -0.5, [](gcs::sim::Time) {}),
+               std::invalid_argument);
+  EXPECT_THROW(engine.every(1.0, nan, [](gcs::sim::Time) {}),
+               std::invalid_argument);
+  EXPECT_THROW(engine.every(nan, 1.0, [](gcs::sim::Time) {}),
+               std::invalid_argument);
+  EXPECT_THROW(engine.every(inf, 1.0, [](gcs::sim::Time) {}),
+               std::invalid_argument);
+  engine.run_until(5.0);  // returns: nothing was queued
+  EXPECT_EQ(engine.events_executed(), 0u);
+  EXPECT_EQ(engine.pending(), 0u);
+}
+
+TEST_P(EngineTest, CancelEveryRemovesInertFiringFromPendingAccounting) {
+  // A cancelled chain leaves its already-queued firing behind as an inert
+  // event; pending() must not count it (it is not schedulable work), and
+  // the inert pop must not disturb the surviving chain's accounting.
+  Engine engine = make_engine();
+  int doomed_fires = 0;
+  int kept_fires = 0;
+  const gcs::sim::PeriodicId doomed =
+      engine.every(1.0, 1.0, [&](gcs::sim::Time) { ++doomed_fires; });
+  engine.every(1.0, 1.0, [&](gcs::sim::Time) { ++kept_fires; });
+  engine.run_until(1.5);  // both fired at t=1; both refires queued for t=2
+  EXPECT_EQ(engine.pending(), 2u);
+  engine.cancel_every(doomed);
+  // The doomed chain's t=2 firing is still physically queued but inert.
+  EXPECT_EQ(engine.pending(), 1u);
+  engine.run_until(2.5);
+  EXPECT_EQ(doomed_fires, 1);
+  EXPECT_EQ(kept_fires, 2);
+  EXPECT_EQ(engine.pending(), 1u);  // the kept chain's t=3 refire
+  // The high-water mark saw both chains queued, never the inert ghost.
+  EXPECT_EQ(engine.stats().max_pending, 2u);
+}
+
+TEST_P(EngineTest, SelfCancellingPeriodicKeepsAccountingConsistent) {
+  // Cancelling from inside the chain's own callback hits the transient
+  // window where the inert count is bumped before the refire is queued;
+  // the clamped subtraction must keep pending() sane through it.
+  Engine engine = make_engine();
+  int fires = 0;
+  gcs::sim::PeriodicId id = 0;
+  id = engine.every(1.0, 1.0, [&](gcs::sim::Time) {
+    ++fires;
+    engine.cancel_every(id);
+    EXPECT_EQ(engine.pending(), 0u);  // mid-callback: nothing schedulable
+  });
+  engine.run_until(5.0);
+  EXPECT_EQ(fires, 1);
+  EXPECT_EQ(engine.pending(), 0u);
+  // The chain's firing at t=1 plus its inert refire at t=2 both popped.
+  EXPECT_EQ(engine.events_executed(), 2u);
 }
 
 }  // namespace

@@ -48,8 +48,11 @@ options:
 
 sweepable keys (comma lists and integer ranges a..b become axes):
   n, topology (path|ring|star|complete), drift (spread|walk|two-camp),
-  delay (uniform|constant[:x]), engine (calendar|heap),
-  delivery (batched|per-receiver), rho, T, D, delta_h, B0,
+  delay (uniform[:lo[:hi]]|constant[:x]), engine (calendar|heap),
+  delivery (batched|per-receiver), shards (0 = classic single-queue
+  engine; >= 1 runs the sharded conservative-parallel engine, which
+  needs a delay with a positive floor, e.g. constant:0.5 or
+  uniform:0.25), rho, T, D, delta_h, B0,
   horizon, sample_dt, seed (alias: seeds)
   scenario: kind[:knob=value...] with kind churn|switching-star|mobility|
   gauss-markov|group|trace (docs/scenarios.md documents every knob;
@@ -61,6 +64,7 @@ examples:
   gcs_run --campaign campaigns/churn.json --jobs 4 --check
   gcs_run --campaign campaigns/churn.json --check --series --trace=2048
   gcs_run --n=8,16,32 --topology=ring,complete --seeds=1..5
+  gcs_run --campaign campaigns/churn.json --check --shards=4 --delay=constant:0.5
   gcs_run --n=10 --scenario=gauss-markov:alpha=0.85:backbone=false:connect_window=3.5 --check
   gcs_run --campaign campaigns/churn.json --horizon=120 --out /tmp/churn
 )";
