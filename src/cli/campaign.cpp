@@ -254,7 +254,8 @@ namespace {
 const char* const kAxisOrder[] = {"n",     "topology", "scenario", "drift",
                                   "delay", "engine",   "delivery", "rho",
                                   "T",     "D",        "delta_h",  "B0",
-                                  "horizon", "sample_dt", "shards", "seed"};
+                                  "horizon", "sample_dt", "shards", "store",
+                                  "seed"};
 
 bool is_known_axis(const std::string& key) {
   for (const char* axis : kAxisOrder) {

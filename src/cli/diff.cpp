@@ -40,8 +40,13 @@ bool is_float_field(const std::string& key) {
   return kFloatKeys.count(key) > 0;
 }
 
+// Machine-describing fields, skipped unless --timing asks for them:
+// wall-clock timing plus the schema-v5 memory pair (arena_bytes differs
+// between the columns and adapter stores by design; peak_rss_kb is a
+// per-process high-water mark that varies run to run).
 bool is_timing_field(const std::string& key) {
-  return key == "wall_ms" || key == "events_per_sec";
+  return key == "wall_ms" || key == "events_per_sec" ||
+         key == "arena_bytes" || key == "peak_rss_kb";
 }
 
 const char* kind_name(json::Value::Kind kind) {
@@ -194,13 +199,17 @@ struct Differ {
           it->second.as_object().erase("name");
         }
       }
-      // The shard count is execution layout, not physics: every shard
-      // count >= 1 produces the same trajectory bytes (the determinism
-      // matrix proves it), so trees run at different counts should diff
-      // clean.  The engine_stats shard counters are already K-invariant.
+      // The shard count and node-store layout are execution layout, not
+      // physics: every shard count >= 1 and both stores (columns /
+      // adapter) produce the same trajectory bytes (the determinism and
+      // store-equivalence matrices prove it), so trees run at different
+      // settings should diff clean.  The engine_stats shard counters are
+      // already K-invariant; the store-dependent arena_bytes is skipped
+      // with the timing fields above.
       if (const auto it = fields.find("config");
           it != fields.end() && it->second.is_object()) {
         it->second.as_object().erase("shards");
+        it->second.as_object().erase("store");
       }
     }
     diff_value(cell, "", "", a_cmp, b_cmp);

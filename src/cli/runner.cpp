@@ -16,6 +16,8 @@
 #include <thread>
 #include <utility>
 
+#include <sys/resource.h>
+
 #include "harness/serialize.hpp"
 #include "obs/telemetry.hpp"
 #include "util/json.hpp"
@@ -57,6 +59,16 @@ void write_file(const fs::path& path, const std::string& content) {
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   out << content;
   if (!out) throw std::runtime_error("cannot write " + path.string());
+}
+
+// Process high-water RSS in KiB (getrusage's ru_maxrss unit on Linux);
+// 0 when the platform call fails.  This is the runner-filled
+// run_stats.peak_rss_kb -- a machine-visibility counter like wall_ms,
+// pinned to 0 under --fixed-timing and ignored by gcs_diff.
+std::uint64_t process_peak_rss_kb() {
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  return usage.ru_maxrss > 0 ? static_cast<std::uint64_t>(usage.ru_maxrss) : 0;
 }
 
 std::string csv_row(const Campaign& campaign, const Cell& cell,
@@ -220,12 +232,29 @@ int run_campaign(const Campaign& campaign, const RunnerOptions& options,
     CellExecution& ex = slots[i];
     ex.outcome.label = cell.label;
 
+    // file_names[i] always ends in ".json"; the telemetry artifacts
+    // share its stem so a cell's files sort together.
+    const std::string stem = file_names[i].substr(0, file_names[i].size() - 5);
+    const fs::path series_path = out_dir / "cells" / (stem + ".series.csv");
+
     // Telemetry probe, when asked for: series rows always, the bounded
     // trace only under --trace.  The recorder is passive, so attaching
     // it cannot change any result byte (the determinism tests gate it).
     std::optional<gcs::obs::TelemetryRecorder> recorder;
+    std::ofstream series_out;
     if (options.series || options.trace) {
       recorder.emplace(options.trace ? options.trace_limit : 0);
+      if (options.series && options.stream_artifacts) {
+        // Streamed series: rows go to disk as they are sampled, so the
+        // recorder holds no per-sample state however long the horizon.
+        series_out.open(series_path, std::ios::binary | std::ios::trunc);
+        if (!series_out) {
+          ex.fatal = std::make_exception_ptr(std::runtime_error(
+              "cannot write " + series_path.string()));
+          return;
+        }
+        recorder->stream_series_to(series_out);
+      }
     }
 
     // A throwing cell (bad axis value, n < 2, ...) is recorded and the
@@ -242,7 +271,23 @@ int run_campaign(const Campaign& campaign, const RunnerOptions& options,
     ex.outcome.wall_ms = std::chrono::duration<double, std::milli>(
                              std::chrono::steady_clock::now() - start)
                              .count();
-    if (ex.outcome.errored) return;
+    if (ex.outcome.errored) {
+      // A partially streamed series file describes a run that never
+      // happened; drop it so errored cells leave no telemetry artifacts,
+      // same as buffered mode.
+      if (series_out.is_open()) {
+        series_out.close();
+        std::error_code ec;
+        fs::remove(series_path, ec);
+      }
+      return;
+    }
+    // Runner-filled memory counter, set before the cell document is
+    // written so the --check round-trip sees the final bytes.  Pinned to
+    // 0 under --fixed-timing: RSS describes the machine and the cell
+    // schedule, not the trajectory.
+    ex.outcome.result.run_stats.peak_rss_kb =
+        options.fixed_timing ? 0 : process_peak_rss_kb();
 
     try {
       const harness::ExperimentResult& result = ex.outcome.result;
@@ -260,13 +305,15 @@ int run_campaign(const Campaign& campaign, const RunnerOptions& options,
           events_per_sec);
       const fs::path cell_path = out_dir / "cells" / file_names[i];
       write_file(cell_path, json::dump(doc, 2) + "\n");
-      // file_names[i] always ends in ".json"; the telemetry artifacts
-      // share its stem so a cell's files sort together.
-      const std::string stem =
-          file_names[i].substr(0, file_names[i].size() - 5);
       if (options.series) {
-        write_file(out_dir / "cells" / (stem + ".series.csv"),
-                   recorder->series_csv());
+        if (options.stream_artifacts) {
+          series_out.close();
+          if (!series_out) {
+            throw std::runtime_error("cannot write " + series_path.string());
+          }
+        } else {
+          write_file(series_path, recorder->series_csv());
+        }
       }
       if (options.trace) {
         write_file(out_dir / "cells" / (stem + ".trace.jsonl"),
@@ -322,8 +369,26 @@ int run_campaign(const Campaign& campaign, const RunnerOptions& options,
     }
   } joiner{pool, cancelled};
 
-  std::string csv = std::string(kCsvHeader) + "\n";
+  // Campaign artifacts: appended per committed cell (streaming, the
+  // default) or buffered whole and written at the end.  Commits happen
+  // strictly in cell order in both modes, so the bytes cannot differ.
+  std::ofstream csv_stream;
+  std::ofstream jsonl_stream;
+  std::string csv;
   std::string jsonl;
+  if (options.stream_artifacts) {
+    csv_stream.open(out_dir / "campaign.csv",
+                    std::ios::binary | std::ios::trunc);
+    jsonl_stream.open(out_dir / "campaign.jsonl",
+                      std::ios::binary | std::ios::trunc);
+    if (!csv_stream || !jsonl_stream) {
+      throw std::runtime_error("cannot write campaign artifacts in " +
+                               out_dir.string());
+    }
+    csv_stream << kCsvHeader << "\n";
+  } else {
+    csv = std::string(kCsvHeader) + "\n";
+  }
   double max_global = 0.0;
   double max_local = 0.0;
   double total_wall_ms = 0.0;
@@ -344,8 +409,17 @@ int run_campaign(const Campaign& campaign, const RunnerOptions& options,
     if (cell_out.errored) {
       ++out.errored_cells;
     } else {
-      csv += ex.csv_line;
-      jsonl += ex.jsonl_line;
+      if (options.stream_artifacts) {
+        csv_stream << ex.csv_line;
+        jsonl_stream << ex.jsonl_line;
+        // Free the committed lines eagerly; with many cells in flight the
+        // slots themselves are the next-largest resident state.
+        std::string().swap(ex.csv_line);
+        std::string().swap(ex.jsonl_line);
+      } else {
+        csv += ex.csv_line;
+        jsonl += ex.jsonl_line;
+      }
       max_global = std::max(max_global, cell_out.result.max_global_skew);
       max_local = std::max(max_local, cell_out.result.max_local_skew);
       total_events += cell_out.result.events_executed;
@@ -372,8 +446,17 @@ int run_campaign(const Campaign& campaign, const RunnerOptions& options,
     out.cells.push_back(std::move(ex.outcome));
   }
 
-  write_file(out_dir / "campaign.csv", csv);
-  write_file(out_dir / "campaign.jsonl", jsonl);
+  if (options.stream_artifacts) {
+    csv_stream.close();
+    jsonl_stream.close();
+    if (!csv_stream || !jsonl_stream) {
+      throw std::runtime_error("cannot write campaign artifacts in " +
+                               out_dir.string());
+    }
+  } else {
+    write_file(out_dir / "campaign.csv", csv);
+    write_file(out_dir / "campaign.jsonl", jsonl);
+  }
 
   json::Value summary;
   summary["schema_version"] = harness::kResultSchemaVersion;

@@ -45,20 +45,22 @@ class DcsaNode : public NodeAutomaton {
         bfunc_(tolerance_fn),
         kappa_((1.0 - params.rho) / (1.0 + params.rho)) {}
 
-  void start(NodeId self, double hw_now) override {
-    self_ = self;
-    offset_ = -hw_now;  // logical clock starts at 0, tracking hardware rate
+  void start(const NodeContext& ctx) override {
+    self_ = ctx.self;
+    offset_ = -ctx.hw_now;  // logical clock starts at 0, tracking hardware rate
   }
 
-  void on_edge_up(NodeId peer, double hw_now) override {
-    peers_[peer] = PeerState{hw_now, false, 0.0, 0.0};
+  void on_edge_up(const NodeContext& ctx, NodeId peer) override {
+    peers_[peer] = PeerState{ctx.hw_now, false, 0.0, 0.0};
   }
 
-  void on_edge_down(NodeId peer, double /*hw_now*/) override {
+  void on_edge_down(const NodeContext& /*ctx*/, NodeId peer) override {
     peers_.erase(peer);
   }
 
-  void on_message(NodeId from, double logical_value, double hw_now) override {
+  void on_message(const NodeContext& ctx, NodeId from,
+                  double logical_value) override {
+    const double hw_now = ctx.hw_now;
     auto it = peers_.find(from);
     if (it == peers_.end()) return;  // edge vanished mid-flight; stale input
     PeerState& p = it->second;
@@ -70,7 +72,8 @@ class DcsaNode : public NodeAutomaton {
     p.has_estimate = true;
   }
 
-  double step(double hw_now) override {
+  double step(const NodeContext& ctx) override {
+    const double hw_now = ctx.hw_now;
     const double logical = logical_clock(hw_now);
     const double target = unconstrained_target(hw_now, logical);
     fast_ = target > logical;

@@ -7,6 +7,8 @@
 #include <utility>
 #include <vector>
 
+#include "core/dcsa_columns.hpp"
+
 namespace gcs::core {
 
 namespace {
@@ -22,6 +24,88 @@ std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t node) {
 }
 
 }  // namespace
+
+// The DeliverySink pair: stats, traces, and conformance checks land at
+// exactly the points the old per-node delivery path emitted them, so
+// the store refactor cannot move a byte in any artifact.
+
+struct NetworkSimulation::ClassicSink : DeliverySink {
+  explicit ClassicSink(NetworkSimulation* s) : sim(s) {}
+  NetworkSimulation* sim;
+
+  void before(const StoreDelivery& d) override {
+    ++sim->stats_.messages_delivered;
+    if (sim->trace_) {
+      sim->recorder_->on_trace({obs::TraceEvent::Kind::kDeliver, d.now, d.from,
+                                d.to, d.value, 0.0, false});
+    }
+  }
+
+  void after(const StoreDelivery& d, double jump) override {
+    if (jump > 0.0) {
+      ++sim->stats_.jumps;
+      sim->stats_.total_jump += jump;
+      if (sim->trace_) {
+        sim->recorder_->on_trace({obs::TraceEvent::Kind::kJump, d.now, d.to,
+                                  d.from, jump, 0.0, false});
+      }
+    }
+    if (sim->options_.check_conformance) {
+      sim->check_edge_conformance(net::Edge(d.from, d.to));
+      const double logical = sim->store_->logical_clock(d.to, d.hw_now);
+      if (logical < sim->last_logical_[d.to] - sim->options_.conformance_slack) {
+        ++sim->stats_.conformance_monotonicity_failures;
+      }
+      sim->last_logical_[d.to] = logical;
+    }
+  }
+};
+
+struct NetworkSimulation::ShardedSink : DeliverySink {
+  explicit ShardedSink(NetworkSimulation* s) : sim(s) {}
+  NetworkSimulation* sim;
+
+  void before(const StoreDelivery& d) override {
+    const std::size_t ctx = sim->shard_of_[d.to];
+    ++sim->shard_counters_[ctx].messages_delivered;
+    if (sim->trace_) {
+      sim->push_trace(ctx, d.to, {obs::TraceEvent::Kind::kDeliver, d.now,
+                                  d.from, d.to, d.value, 0.0, false});
+    }
+  }
+
+  void after(const StoreDelivery& d, double jump) override {
+    const std::size_t ctx = sim->shard_of_[d.to];
+    if (jump > 0.0) {
+      ++sim->shard_counters_[ctx].jumps;
+      sim->node_jump_[d.to] += jump;
+      if (sim->trace_) {
+        sim->push_trace(ctx, d.to, {obs::TraceEvent::Kind::kJump, d.now, d.to,
+                                    d.from, jump, 0.0, false});
+      }
+    }
+    if (sim->options_.check_conformance) {
+      // Envelope conformance compares BOTH endpoints' clocks, which a
+      // shard may not read mid-window; sharded runs audit the envelope
+      // through the harness sampler at barriers instead, so the per-
+      // delivery check is skipped for EVERY shard count (keeping the
+      // counters K-invariant).  Monotonicity is target-local and stays on.
+      const double logical = sim->store_->logical_clock(d.to, d.hw_now);
+      if (logical < sim->last_logical_[d.to] - sim->options_.conformance_slack) {
+        ++sim->shard_counters_[ctx].monotonicity_failures;
+      }
+      sim->last_logical_[d.to] = logical;
+    }
+  }
+};
+
+NetworkSimulation::NetworkSimulation(const SyncParams& params,
+                                     net::DynamicGraph graph,
+                                     net::DelayModel delay,
+                                     std::vector<clk::RateSchedule> schedules,
+                                     SimOptions options)
+    : NetworkSimulation(params, std::move(graph), std::move(delay),
+                        std::move(schedules), NodeFactory{}, options) {}
 
 NetworkSimulation::NetworkSimulation(const SyncParams& params,
                                      net::DynamicGraph graph,
@@ -48,12 +132,23 @@ NetworkSimulation::NetworkSimulation(const SyncParams& params,
   }
   clocks_.reserve(n);
   for (auto& s : schedules) clocks_.emplace_back(std::move(s));
-  nodes_.reserve(n);
+  if (factory) {
+    std::vector<std::unique_ptr<NodeAutomaton>> nodes;
+    nodes.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      auto node = factory(static_cast<NodeId>(i));
+      if (!node) {
+        throw std::invalid_argument("NetworkSimulation: null automaton");
+      }
+      nodes.push_back(std::move(node));
+    }
+    store_ = std::make_unique<AutomatonStore>(std::move(nodes));
+  } else {
+    store_ = std::make_unique<DcsaColumns>(params_, n);
+  }
   for (std::size_t i = 0; i < n; ++i) {
-    auto node = factory(static_cast<NodeId>(i));
-    if (!node) throw std::invalid_argument("NetworkSimulation: null automaton");
-    node->start(static_cast<NodeId>(i), clocks_[i].value_at(0.0));
-    nodes_.push_back(std::move(node));
+    store_->start(NodeContext{static_cast<NodeId>(i),
+                              clocks_[i].value_at(0.0), 0.0});
   }
   adjacency_.assign(n, {});
   last_logical_.assign(n, 0.0);
@@ -95,6 +190,7 @@ NetworkSimulation::NetworkSimulation(const SyncParams& params,
     }
   }
 
+  edges_.reserve(graph.initial_edges().size() * 2 + 16);
   for (const net::Edge& e : graph.initial_edges()) add_edge(e, 0.0, true);
   for (const net::TopologyEvent& ev : graph.events()) {
     if (sharded_) {
@@ -130,13 +226,12 @@ void NetworkSimulation::run_until(sim::Time t) {
     }
   }
   // Audit the paper's standing assumption over the (T+D)-windows newly
-  // completed by this call; the sweep's cursor makes repeated
-  // incremental run_until calls cost one schedule pass in total.
+  // completed by this call; the sweep's delta cursor makes repeated
+  // incremental run_until calls cost one schedule pass in total, and
+  // the set-range is_connected avoids materializing each union.
   while (audit_sweep_.next(now())) {
     ++stats_.connectivity_windows_checked;
-    const std::set<net::Edge>& u = audit_sweep_.window_union();
-    if (!net::is_connected(nodes_.size(),
-                           std::vector<net::Edge>(u.begin(), u.end()))) {
+    if (!net::is_connected(store_->size(), audit_sweep_.window_union())) {
       ++stats_.connectivity_windows_disconnected;
     }
   }
@@ -159,7 +254,7 @@ void NetworkSimulation::cancel_periodic(sim::PeriodicId id) {
 }
 
 double NetworkSimulation::logical_clock(NodeId u) const {
-  return nodes_[u]->logical_clock(clocks_[u].value_at(now()));
+  return store_->logical_clock(u, clocks_[u].value_at(now()));
 }
 
 double NetworkSimulation::hardware_clock(NodeId u) const {
@@ -170,18 +265,30 @@ double NetworkSimulation::skew(NodeId u, NodeId v) const {
   return logical_clock(u) - logical_clock(v);
 }
 
+void NetworkSimulation::sample_clocks(std::vector<double>& hw,
+                                      std::vector<double>& logical) const {
+  const std::size_t n = store_->size();
+  hw.resize(n);
+  logical.resize(n);
+  const sim::Time t = now();
+  for (std::size_t i = 0; i < n; ++i) hw[i] = clocks_[i].value_at(t);
+  store_->advance(hw.data(), logical.data(), n);
+}
+
 std::vector<net::Edge> NetworkSimulation::current_edges() const {
   std::vector<net::Edge> out;
   out.reserve(edges_.size());
-  for (const auto& [e, state] : edges_) {
+  for (const auto& [key, state] : edges_) {
     (void)state;
-    out.push_back(e);
+    out.emplace_back(static_cast<NodeId>(key >> 32),
+                     static_cast<NodeId>(key & 0xFFFFFFFFu));
   }
+  std::sort(out.begin(), out.end());  // hash order is not deterministic
   return out;
 }
 
 double NetworkSimulation::edge_age(const net::Edge& e) const {
-  auto it = edges_.find(e);
+  auto it = edges_.find(edge_key(e));
   if (it == edges_.end()) return -1.0;
   return now() - it->second.up_time;
 }
@@ -208,12 +315,14 @@ void NetworkSimulation::apply_event(const net::TopologyEvent& ev) {
 
 void NetworkSimulation::add_edge(const net::Edge& e, sim::Time t,
                                  bool initial) {
-  if (edges_.count(e)) return;  // redundant add
-  edges_[e] = EdgeState{t, ++next_incarnation_};
+  if (edges_.count(edge_key(e))) return;  // redundant add
+  edges_[edge_key(e)] = EdgeState{t, ++next_incarnation_};
   adjacency_[e.u].push_back(e.v);
   adjacency_[e.v].push_back(e.u);
-  nodes_[e.u]->on_edge_up(e.v, clocks_[e.u].value_at(t));
-  nodes_[e.v]->on_edge_up(e.u, clocks_[e.v].value_at(t));
+  const double hw_u = clocks_[e.u].value_at(t);
+  const double hw_v = clocks_[e.v].value_at(t);
+  store_->edge_up(NodeContext{e.u, hw_u, t}, e.v);
+  store_->edge_up(NodeContext{e.v, hw_v, t}, e.u);
   if (!initial) {
     // Discovery exchange: both endpoints immediately send their clocks on
     // the new edge, so it carries an estimate within one delay bound.
@@ -221,20 +330,18 @@ void NetworkSimulation::add_edge(const net::Edge& e, sim::Time t,
       // Topology deltas run in the global context (shards parked), so
       // reading either endpoint's clock here is safe for any partition.
       const std::size_t ctx = sharded_->global_ctx();
-      send_sharded(ctx, e.u, e.v,
-                   nodes_[e.u]->logical_clock(clocks_[e.u].value_at(t)), t);
-      send_sharded(ctx, e.v, e.u,
-                   nodes_[e.v]->logical_clock(clocks_[e.v].value_at(t)), t);
+      send_sharded(ctx, e.u, e.v, store_->logical_clock(e.u, hw_u), t);
+      send_sharded(ctx, e.v, e.u, store_->logical_clock(e.v, hw_v), t);
     } else {
-      send(e.u, e.v, logical_clock(e.u), t);
-      send(e.v, e.u, logical_clock(e.v), t);
+      send(e.u, e.v, store_->logical_clock(e.u, hw_u), t);
+      send(e.v, e.u, store_->logical_clock(e.v, hw_v), t);
       flush_outbox();
     }
   }
 }
 
 void NetworkSimulation::remove_edge(const net::Edge& e, sim::Time t) {
-  auto it = edges_.find(e);
+  auto it = edges_.find(edge_key(e));
   if (it == edges_.end()) return;  // redundant remove
   edges_.erase(it);
   auto drop = [](std::vector<NodeId>& v, NodeId x) {
@@ -242,8 +349,8 @@ void NetworkSimulation::remove_edge(const net::Edge& e, sim::Time t) {
   };
   drop(adjacency_[e.u], e.v);
   drop(adjacency_[e.v], e.u);
-  nodes_[e.u]->on_edge_down(e.v, clocks_[e.u].value_at(t));
-  nodes_[e.v]->on_edge_down(e.u, clocks_[e.v].value_at(t));
+  store_->edge_down(NodeContext{e.u, clocks_[e.u].value_at(t), t}, e.v);
+  store_->edge_down(NodeContext{e.v, clocks_[e.v].value_at(t), t}, e.u);
 }
 
 void NetworkSimulation::schedule_broadcast(NodeId u) {
@@ -261,14 +368,14 @@ void NetworkSimulation::broadcast(NodeId u) {
     // adjacency_ and edges_ only ever change at barriers, so reading
     // them mid-window is race-free.
     const sim::Time t = sharded_->shard_now(shard_of_[u]);
-    const double value = nodes_[u]->logical_clock(clocks_[u].value_at(t));
+    const double value = store_->logical_clock(u, clocks_[u].value_at(t));
     for (NodeId v : adjacency_[u]) send_sharded(shard_of_[u], u, v, value, t);
     next_broadcast_hw_[u] += params_.delta_h;
     schedule_broadcast(u);
     return;
   }
   const sim::Time t = engine_.now();
-  const double value = nodes_[u]->logical_clock(clocks_[u].value_at(t));
+  const double value = store_->logical_clock(u, clocks_[u].value_at(t));
   for (NodeId v : adjacency_[u]) send(u, v, value, t);
   flush_outbox();
   next_broadcast_hw_[u] += params_.delta_h;
@@ -278,7 +385,7 @@ void NetworkSimulation::broadcast(NodeId u) {
 void NetworkSimulation::send(NodeId from, NodeId to, double value,
                              sim::Time t) {
   const net::Edge e(from, to);
-  auto it = edges_.find(e);
+  auto it = edges_.find(edge_key(e));
   if (it == edges_.end()) return;
   const std::uint64_t incarnation = it->second.incarnation;
   double d = delay_.sample(e, rng_);
@@ -325,9 +432,7 @@ void NetworkSimulation::flush_outbox() {
       batch.reserve(j - i);
       for (std::size_t k = i; k < j; ++k) batch.push_back(outbox_[k].second);
       engine_.at(outbox_[i].first, [this, batch = std::move(batch)] {
-        for (const Delivery& d : batch) {
-          deliver(d.from, d.to, d.value, d.incarnation);
-        }
+        deliver_batch(batch);
       });
     }
     i = j;
@@ -338,7 +443,7 @@ void NetworkSimulation::flush_outbox() {
 void NetworkSimulation::deliver(NodeId from, NodeId to, double value,
                                 std::uint64_t incarnation) {
   const net::Edge e(from, to);
-  auto it = edges_.find(e);
+  auto it = edges_.find(edge_key(e));
   if (it == edges_.end() || it->second.incarnation != incarnation) {
     ++stats_.messages_dropped;
     if (trace_) {
@@ -347,36 +452,44 @@ void NetworkSimulation::deliver(NodeId from, NodeId to, double value,
     }
     return;
   }
-  ++stats_.messages_delivered;
-  if (trace_) {
-    recorder_->on_trace({obs::TraceEvent::Kind::kDeliver, engine_.now(), from,
-                         to, value, 0.0, false});
-  }
-  const double hw = clocks_[to].value_at(engine_.now());
-  nodes_[to]->on_message(from, value, hw);
-  const double jump = nodes_[to]->step(hw);
-  if (jump > 0.0) {
-    ++stats_.jumps;
-    stats_.total_jump += jump;
-    if (trace_) {
-      recorder_->on_trace({obs::TraceEvent::Kind::kJump, engine_.now(), to,
-                           from, jump, 0.0, false});
+  const sim::Time t = engine_.now();
+  const StoreDelivery d{from, to, value, clocks_[to].value_at(t), t};
+  ClassicSink sink(this);
+  store_->on_deliveries(&d, 1, sink);
+}
+
+void NetworkSimulation::deliver_batch(const std::vector<Delivery>& batch) {
+  const sim::Time t = engine_.now();
+  ClassicSink sink(this);
+  scratch_.clear();
+  const auto flush = [&] {
+    if (scratch_.empty()) return;
+    store_->on_deliveries(scratch_.data(), scratch_.size(), sink);
+    scratch_.clear();
+  };
+  for (const Delivery& m : batch) {
+    const auto it = edges_.find(edge_key(net::Edge(m.from, m.to)));
+    if (it == edges_.end() || it->second.incarnation != m.incarnation) {
+      // Emit the drop at its original position in the batch: flush the
+      // accepted run so far, then count/trace the drop.
+      flush();
+      ++stats_.messages_dropped;
+      if (trace_) {
+        recorder_->on_trace({obs::TraceEvent::Kind::kDrop, t, m.from, m.to,
+                             m.value, 0.0, false});
+      }
+      continue;
     }
+    scratch_.push_back(
+        StoreDelivery{m.from, m.to, m.value, clocks_[m.to].value_at(t), t});
   }
-  if (options_.check_conformance) {
-    check_edge_conformance(e);
-    const double logical = logical_clock(to);
-    if (logical < last_logical_[to] - options_.conformance_slack) {
-      ++stats_.conformance_monotonicity_failures;
-    }
-    last_logical_[to] = logical;
-  }
+  flush();
 }
 
 void NetworkSimulation::send_sharded(std::size_t ctx, NodeId from, NodeId to,
                                      double value, sim::Time t) {
   const net::Edge e(from, to);
-  auto it = edges_.find(e);
+  auto it = edges_.find(edge_key(e));
   if (it == edges_.end()) return;
   const std::uint64_t incarnation = it->second.incarnation;
   double d = delay_.sample(e, node_rngs_[from]);
@@ -403,45 +516,19 @@ void NetworkSimulation::deliver_sharded(NodeId from, NodeId to, double value,
                                         std::uint64_t incarnation) {
   const std::size_t ctx = shard_of_[to];
   const sim::Time t = sharded_->shard_now(ctx);
-  ShardCounters& counters = shard_counters_[ctx];
   const net::Edge e(from, to);
-  auto it = edges_.find(e);
+  auto it = edges_.find(edge_key(e));
   if (it == edges_.end() || it->second.incarnation != incarnation) {
-    ++counters.messages_dropped;
+    ++shard_counters_[ctx].messages_dropped;
     if (trace_) {
       push_trace(ctx, to,
                  {obs::TraceEvent::Kind::kDrop, t, from, to, value, 0.0, false});
     }
     return;
   }
-  ++counters.messages_delivered;
-  if (trace_) {
-    push_trace(ctx, to, {obs::TraceEvent::Kind::kDeliver, t, from, to, value,
-                         0.0, false});
-  }
-  const double hw = clocks_[to].value_at(t);
-  nodes_[to]->on_message(from, value, hw);
-  const double jump = nodes_[to]->step(hw);
-  if (jump > 0.0) {
-    ++counters.jumps;
-    node_jump_[to] += jump;
-    if (trace_) {
-      push_trace(ctx, to,
-                 {obs::TraceEvent::Kind::kJump, t, to, from, jump, 0.0, false});
-    }
-  }
-  if (options_.check_conformance) {
-    // Envelope conformance compares BOTH endpoints' clocks, which a
-    // shard may not read mid-window; sharded runs audit the envelope
-    // through the harness sampler at barriers instead, so the per-
-    // delivery check is skipped for EVERY shard count (keeping the
-    // counters K-invariant).  Monotonicity is target-local and stays on.
-    const double logical = nodes_[to]->logical_clock(clocks_[to].value_at(t));
-    if (logical < last_logical_[to] - options_.conformance_slack) {
-      ++counters.monotonicity_failures;
-    }
-    last_logical_[to] = logical;
-  }
+  const StoreDelivery d{from, to, value, clocks_[to].value_at(t), t};
+  ShardedSink sink(this);
+  store_->on_deliveries(&d, 1, sink);
 }
 
 void NetworkSimulation::push_trace(std::size_t ctx, NodeId node,
@@ -478,6 +565,7 @@ void NetworkSimulation::flush_sharded_trace() {
 
 const RunStats& NetworkSimulation::stats() const {
   if (sharded_) compose_run_stats();
+  stats_.arena_bytes = store_->arena_bytes();
   return stats_;
 }
 
@@ -499,13 +587,13 @@ void NetworkSimulation::compose_run_stats() const {
   stats_.total_jump = 0.0;
   for (const double jump : node_jump_) stats_.total_jump += jump;
   // Per-delivery envelope checks are barrier-audited in sharded mode
-  // (see deliver_sharded); these stay zero for every shard count.
+  // (see ShardedSink::after); these stay zero for every shard count.
   stats_.conformance_checks = 0;
   stats_.conformance_envelope_failures = 0;
 }
 
 void NetworkSimulation::check_edge_conformance(const net::Edge& e) {
-  auto it = edges_.find(e);
+  auto it = edges_.find(edge_key(e));
   if (it == edges_.end()) return;
   ++stats_.conformance_checks;
   // The node-side B runs on hardware ages, which an outside observer

@@ -18,14 +18,16 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <memory>
+#include <stdexcept>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "clk/clock.hpp"
 #include "core/bfunc.hpp"
 #include "core/node_automaton.hpp"
+#include "core/node_store.hpp"
 #include "core/params.hpp"
 #include "net/delay.hpp"
 #include "net/dynamic_graph.hpp"
@@ -97,6 +99,14 @@ struct RunStats {
   // standing assumption -- gcs_run --check fails the cell.
   std::uint64_t connectivity_windows_checked = 0;
   std::uint64_t connectivity_windows_disconnected = 0;
+  // Memory visibility (schema v5).  arena_bytes is the node store's flat
+  // state footprint (0 on the adapter store, whose state hides behind
+  // per-node heap objects); peak_rss_kb is the process high-water RSS,
+  // filled by the RUNNER after the cell completes (0 in the harness and
+  // under --fixed-timing -- it is machine state, not trajectory, and
+  // gcs_diff ignores both like wall_ms).
+  std::uint64_t arena_bytes = 0;
+  std::uint64_t peak_rss_kb = 0;
 };
 
 class NetworkSimulation {
@@ -104,10 +114,21 @@ class NetworkSimulation {
   using NodeFactory =
       std::function<std::unique_ptr<NodeAutomaton>(NodeId)>;
 
+  // Adapter-store constructor: one virtual NodeAutomaton per node from
+  // `factory` (custom protocol variants, weighted tolerances, benches).
   NetworkSimulation(const SyncParams& params, net::DynamicGraph graph,
                     net::DelayModel delay,
                     std::vector<clk::RateSchedule> schedules,
                     NodeFactory factory, SimOptions options = SimOptions{});
+
+  // Columns-store constructor: plain DCSA in core::DcsaColumns flat
+  // arenas -- the default for scale.  Trajectories are byte-identical
+  // to the adapter store running DcsaNode (the equivalence matrix
+  // enforces it); only RunStats::arena_bytes differs.
+  NetworkSimulation(const SyncParams& params, net::DynamicGraph graph,
+                    net::DelayModel delay,
+                    std::vector<clk::RateSchedule> schedules,
+                    SimOptions options = SimOptions{});
 
   NetworkSimulation(const NetworkSimulation&) = delete;
   NetworkSimulation& operator=(const NetworkSimulation&) = delete;
@@ -124,6 +145,10 @@ class NetworkSimulation {
   double hardware_clock(NodeId u) const;
   // L_u - L_v at the current simulation time.
   double skew(NodeId u, NodeId v) const;
+  // Whole-population clock sample at the current simulation time: one
+  // store advance() instead of n virtual calls.  Both vectors are
+  // resized to size(); logical[i] bit-matches logical_clock(i).
+  void sample_clocks(std::vector<double>& hw, std::vector<double>& logical) const;
 
   // Live edges at the current simulation time, sorted.
   std::vector<net::Edge> current_edges() const;
@@ -155,8 +180,21 @@ class NetworkSimulation {
   const RunStats& stats() const;
   const SyncParams& params() const { return params_; }
   const BFunction& bfunc() const { return bfunc_; }
-  std::size_t size() const { return nodes_.size(); }
-  NodeAutomaton& node(NodeId u) { return *nodes_[u]; }
+  std::size_t size() const { return store_->size(); }
+  // The node store driving this run (arena_bytes, live_slots, ...).
+  const NodeStore& store() const { return *store_; }
+  // Per-node automaton access; only the adapter store has such objects,
+  // so this throws on the (default) columns store.  Tests and benches
+  // that poke protocol internals construct with a NodeFactory.
+  NodeAutomaton& node(NodeId u) {
+    NodeAutomaton* a = store_->automaton(u);
+    if (!a) {
+      throw std::logic_error(
+          "NetworkSimulation::node: the columns store has no per-node "
+          "automatons; construct with a NodeFactory for object access");
+    }
+    return *a;
+  }
 
  private:
   struct EdgeState {
@@ -169,6 +207,16 @@ class NetworkSimulation {
     double value;
     std::uint64_t incarnation;
   };
+  // Order-preserving DeliverySink impls (defined in the .cpp): they put
+  // stats, traces, and conformance checks at exactly the points the old
+  // per-node path emitted them.
+  struct ClassicSink;
+  struct ShardedSink;
+
+  // Edges are normalized (u <= v), so one packed key per physical link.
+  static std::uint64_t edge_key(const net::Edge& e) {
+    return (static_cast<std::uint64_t>(e.u) << 32) | e.v;
+  }
 
   void apply_event(const net::TopologyEvent& ev);
   void add_edge(const net::Edge& e, sim::Time t, bool initial);
@@ -180,6 +228,12 @@ class NetworkSimulation {
   void send(NodeId from, NodeId to, double value, sim::Time t);
   void flush_outbox();
   void deliver(NodeId from, NodeId to, double value, std::uint64_t incarnation);
+  // Same-instant coalesced deliveries: drop-checks every record up
+  // front (store callbacks never touch the edge set, so the checks
+  // cannot go stale mid-batch), then feeds the accepted runs to the
+  // store as contiguous on_deliveries batches, emitting drops at their
+  // original positions -- byte-order-identical to per-record delivery.
+  void deliver_batch(const std::vector<Delivery>& batch);
   void check_edge_conformance(const net::Edge& e);
   // Sharded-mode message path: `ctx` is the execution context doing the
   // send (the node's shard, or global_ctx() for barrier-side discovery
@@ -252,15 +306,23 @@ class NetworkSimulation {
   std::vector<std::uint64_t> node_trace_seq_;
   std::uint64_t global_trace_seq_ = 0;
   std::vector<clk::HardwareClock> clocks_;
-  std::vector<std::unique_ptr<NodeAutomaton>> nodes_;
+  // All node state -- DcsaColumns flat arenas by default, or the
+  // AutomatonStore adapter when a NodeFactory was supplied.
+  std::unique_ptr<NodeStore> store_;
   std::vector<std::vector<NodeId>> adjacency_;
-  std::map<net::Edge, EdgeState> edges_;
+  // Live edges keyed by packed (u << 32 | v): O(1) lookups on the
+  // delivery hot path (the old std::map cost O(log m) comparisons per
+  // message).  Iterated only by current_edges(), which sorts.
+  std::unordered_map<std::uint64_t, EdgeState> edges_;
   std::uint64_t next_incarnation_ = 0;
   std::vector<double> next_broadcast_hw_;
   std::vector<double> last_logical_;  // monotonicity conformance
   // Batched mode: messages staged by the current flush scope in send
   // order; flush_outbox sort-groups them by exact delivery instant.
   std::vector<std::pair<sim::Time, Delivery>> outbox_;
+  // Scratch for deliver_batch's accepted runs (classic mode is
+  // single-threaded, so one buffer serves every batch).
+  std::vector<StoreDelivery> scratch_;
   // mutable because sharded mode composes the message counters from
   // shard_counters_/node_jump_ inside the const stats() accessor; the
   // plain path writes it directly, exactly as before.

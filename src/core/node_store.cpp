@@ -1,0 +1,50 @@
+#include "core/node_store.hpp"
+
+#include <utility>
+
+namespace gcs::core {
+
+AutomatonStore::AutomatonStore(
+    std::vector<std::unique_ptr<NodeAutomaton>> nodes)
+    : nodes_(std::move(nodes)) {}
+
+void AutomatonStore::start(const NodeContext& ctx) {
+  nodes_[ctx.self]->start(ctx);
+}
+
+void AutomatonStore::edge_up(const NodeContext& ctx, NodeId peer) {
+  nodes_[ctx.self]->on_edge_up(ctx, peer);
+}
+
+void AutomatonStore::edge_down(const NodeContext& ctx, NodeId peer) {
+  nodes_[ctx.self]->on_edge_down(ctx, peer);
+}
+
+void AutomatonStore::on_deliveries(const StoreDelivery* batch,
+                                   std::size_t count, DeliverySink& sink) {
+  for (std::size_t i = 0; i < count; ++i) {
+    const StoreDelivery& d = batch[i];
+    sink.before(d);
+    NodeAutomaton& a = *nodes_[d.to];
+    const NodeContext ctx{d.to, d.hw_now, d.now};
+    a.on_message(ctx, d.from, d.value);
+    sink.after(d, a.step(ctx));
+  }
+}
+
+void AutomatonStore::advance(const double* hw_now, double* logical,
+                             std::size_t count) const {
+  for (std::size_t i = 0; i < count; ++i) {
+    logical[i] = nodes_[i]->logical_clock(hw_now[i]);
+  }
+}
+
+double AutomatonStore::logical_clock(NodeId u, double hw_now) const {
+  return nodes_[u]->logical_clock(hw_now);
+}
+
+bool AutomatonStore::fast_mode(NodeId u) const {
+  return nodes_[u]->fast_mode();
+}
+
+}  // namespace gcs::core

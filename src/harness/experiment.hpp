@@ -62,6 +62,12 @@ struct ExperimentConfig {
   // >= 1 produces the same bytes (the determinism matrix proves it), so
   // this is purely a wall-clock knob within the sharded universe.
   std::uint64_t shards = 0;
+  // Node-state layout: "columns" (core::DcsaColumns struct-of-arrays,
+  // the scale default) or "adapter" (per-node DcsaNode objects behind
+  // AutomatonStore, the object-path reference).  Trajectories are
+  // byte-identical between the two (the store-equivalence matrix proves
+  // it); only run_stats.arena_bytes differs, which gcs_diff ignores.
+  std::string store = "columns";
 
   // Samples fire at sample_dt, 2*sample_dt, ...; the engine executes
   // events with t <= horizon under BOTH scheduler policies, so a sample

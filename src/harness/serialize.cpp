@@ -46,6 +46,8 @@ util::json::Value to_json(const core::RunStats& stats) {
   v["connectivity_windows_checked"] = stats.connectivity_windows_checked;
   v["connectivity_windows_disconnected"] =
       stats.connectivity_windows_disconnected;
+  v["arena_bytes"] = stats.arena_bytes;
+  v["peak_rss_kb"] = stats.peak_rss_kb;
   return v;
 }
 
@@ -69,6 +71,8 @@ core::RunStats run_stats_from_json(const util::json::Value& doc) {
       req_u64(doc, "connectivity_windows_checked");
   stats.connectivity_windows_disconnected =
       req_u64(doc, "connectivity_windows_disconnected");
+  stats.arena_bytes = req_u64(doc, "arena_bytes");
+  stats.peak_rss_kb = req_u64(doc, "peak_rss_kb");
   return stats;
 }
 
@@ -174,6 +178,7 @@ util::json::Value config_to_json(const ExperimentConfig& config) {
   v["engine"] = config.engine;
   v["delivery"] = config.delivery;
   v["shards"] = config.shards;
+  v["store"] = config.store;
   v["horizon"] = config.horizon;
   v["sample_dt"] = config.sample_dt;
   v["seed"] = config.seed;
@@ -184,7 +189,7 @@ ExperimentConfig config_from_json(const util::json::Value& doc) {
   static const std::set<std::string> kKnown = {
       "name",   "n",     "rho",      "T",         "D",    "delta_h",
       "B0",     "topology", "drift", "delay",     "engine", "delivery",
-      "shards", "horizon", "sample_dt", "seed"};
+      "shards", "store", "horizon", "sample_dt", "seed"};
   for (const auto& [key, value] : doc.as_object()) {
     (void)value;
     if (kKnown.count(key) == 0) {
@@ -209,6 +214,7 @@ ExperimentConfig config_from_json(const util::json::Value& doc) {
   if (const auto* v = doc.find("engine")) config.engine = v->as_string();
   if (const auto* v = doc.find("delivery")) config.delivery = v->as_string();
   if (const auto* v = doc.find("shards")) config.shards = v->as_u64();
+  if (const auto* v = doc.find("store")) config.store = v->as_string();
   if (const auto* v = doc.find("horizon")) config.horizon = v->as_number();
   if (const auto* v = doc.find("sample_dt")) config.sample_dt = v->as_number();
   if (const auto* v = doc.find("seed")) config.seed = v->as_u64();

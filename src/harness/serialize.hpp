@@ -37,7 +37,13 @@ namespace gcs::harness {
 //   4 -- config echo gains "shards" (in-cell shard count for the
 //        conservative-parallel engine); engine_stats gains
 //        shard_windows / shard_staged_events.
-inline constexpr int kResultSchemaVersion = 4;
+//   5 -- config echo gains "store" (node-state layout: columns/adapter);
+//        run_stats gains the memory-visibility pair arena_bytes (node
+//        store flat-state footprint) / peak_rss_kb (process high-water
+//        RSS, runner-filled, 0 under --fixed-timing).  gcs_diff ignores
+//        both counters like wall_ms -- they describe the machine, not
+//        the trajectory.
+inline constexpr int kResultSchemaVersion = 5;
 
 util::json::Value to_json(const core::RunStats& stats);
 core::RunStats run_stats_from_json(const util::json::Value& doc);

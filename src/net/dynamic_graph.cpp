@@ -27,54 +27,70 @@ DynamicGraph::DynamicGraph(std::size_t n, std::vector<Edge> initial_edges,
       [](const TopologyEvent& a, const TopologyEvent& b) { return a.at < b.at; });
 }
 
-std::vector<Edge> DynamicGraph::edges_at(sim::Time t) const {
-  std::set<Edge> live(initial_edges_.begin(), initial_edges_.end());
-  for (const TopologyEvent& ev : events_) {
-    if (ev.at > t) break;
-    if (ev.add) {
-      live.insert(ev.edge);
-    } else {
-      live.erase(ev.edge);
-    }
+EdgeDeltaCursor::EdgeDeltaCursor(std::vector<Edge> initial_edges,
+                                 const std::vector<TopologyEvent>* events)
+    : events_(events), live_(initial_edges.begin(), initial_edges.end()) {}
+
+void EdgeDeltaCursor::apply_until(double t, bool inclusive,
+                                  const DeltaFn& fn) {
+  const std::vector<TopologyEvent>& evs = *events_;
+  while (index_ < evs.size() &&
+         (inclusive ? evs[index_].at <= t : evs[index_].at < t)) {
+    const TopologyEvent& ev = evs[index_];
+    const bool effective =
+        ev.add ? live_.insert(ev.edge).second : live_.erase(ev.edge) > 0;
+    if (fn) fn(ev, effective);
+    ++index_;
   }
-  return std::vector<Edge>(live.begin(), live.end());
+}
+
+void EdgeDeltaCursor::advance_before(double t, const DeltaFn& fn) {
+  apply_until(t, /*inclusive=*/false, fn);
+}
+
+void EdgeDeltaCursor::advance_through(double t, const DeltaFn& fn) {
+  apply_until(t, /*inclusive=*/true, fn);
+}
+
+std::vector<Edge> DynamicGraph::edges_at(sim::Time t) const {
+  EdgeDeltaCursor cursor(initial_edges_, &events_);
+  cursor.advance_through(t);
+  return std::vector<Edge>(cursor.live().begin(), cursor.live().end());
 }
 
 bool DynamicGraph::connected_at(sim::Time t) const {
-  return is_connected(n_, edges_at(t));
+  EdgeDeltaCursor cursor(initial_edges_, &events_);
+  cursor.advance_through(t);
+  return is_connected(n_, cursor.live());
 }
 
 SnapshotUnionSweep::SnapshotUnionSweep(std::vector<Edge> initial_edges,
                                        std::vector<TopologyEvent> events,
                                        double window)
     : events_(std::move(events)),
-      live_(initial_edges.begin(), initial_edges.end()),
+      cursor_(std::move(initial_edges), &events_),
       width_(window) {}
 
 bool SnapshotUnionSweep::next(double horizon) {
   if (width_ <= 0.0) return false;  // zero-width windows would never end
   const double end = static_cast<double>(window_count_ + 1) * width_;
   if (end > horizon) return false;
-  union_ = live_;
-  while (event_index_ < events_.size() && events_[event_index_].at < end) {
-    const TopologyEvent& ev = events_[event_index_];
-    if (ev.add) {
-      live_.insert(ev.edge);
-      union_.insert(ev.edge);
-    } else {
-      live_.erase(ev.edge);
-    }
-    ++event_index_;
-  }
+  // The union is the live snapshot entering the window plus every edge
+  // added inside it; the shared cursor applies the window's deltas.
+  union_ = cursor_.live();
+  cursor_.advance_before(end, [this](const TopologyEvent& ev, bool) {
+    if (ev.add) union_.insert(ev.edge);
+  });
   ++window_count_;
   return true;
 }
 
 std::set<Edge> SnapshotUnionSweep::adds_at(double t) const {
   std::set<Edge> adds;
-  for (std::size_t i = event_index_;
-       i < events_.size() && events_[i].at <= t; ++i) {
-    if (events_[i].at == t && events_[i].add) adds.insert(events_[i].edge);
+  const std::vector<TopologyEvent>& evs = cursor_.events();
+  for (std::size_t i = cursor_.index(); i < evs.size() && evs[i].at <= t;
+       ++i) {
+    if (evs[i].at == t && evs[i].add) adds.insert(evs[i].edge);
   }
   return adds;
 }
@@ -88,8 +104,7 @@ ConnectivityAudit audit_interval_connectivity(const DynamicGraph& graph,
   SnapshotUnionSweep sweep(graph.initial_edges(), graph.events(), window);
   while (sweep.next(horizon)) {
     ++audit.windows_checked;
-    const std::set<Edge>& u = sweep.window_union();
-    if (!is_connected(graph.n(), std::vector<Edge>(u.begin(), u.end()))) {
+    if (!is_connected(graph.n(), sweep.window_union())) {
       ++audit.windows_disconnected;
     }
   }

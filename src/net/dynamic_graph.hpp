@@ -13,6 +13,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <set>
 #include <vector>
 
@@ -27,6 +28,43 @@ struct TopologyEvent {
   bool add = true;  // true: edge appears; false: edge disappears
 };
 
+// The incremental delta-application primitive every topology consumer
+// shares: a forward-only cursor over a stably time-sorted event list
+// that maintains the live edge set by applying events as deltas (set
+// semantics -- redundant adds/removes are no-ops, matching the
+// simulator).  SnapshotUnionSweep, edges_at(), and offline tools all
+// advance one of these instead of replaying the schedule from scratch,
+// so a query costs the deltas since the last query, not O(events).
+// The event list is NOT owned and must outlive the cursor.
+class EdgeDeltaCursor {
+ public:
+  // Called after each applied delta; `effective` is false when the
+  // delta was redundant (adding a live edge / removing a dead one).
+  using DeltaFn = std::function<void(const TopologyEvent& ev, bool effective)>;
+
+  EdgeDeltaCursor(std::vector<Edge> initial_edges,
+                  const std::vector<TopologyEvent>* events);
+
+  // Applies every not-yet-applied event with `at` strictly before `t`
+  // (window semantics: a boundary event belongs to the later window).
+  void advance_before(double t, const DeltaFn& fn = nullptr);
+  // Applies every not-yet-applied event with `at <= t` (snapshot
+  // semantics: edges_at includes events at exactly t).
+  void advance_through(double t, const DeltaFn& fn = nullptr);
+
+  const std::set<Edge>& live() const { return live_; }
+  const std::vector<TopologyEvent>& events() const { return *events_; }
+  // Index of the first unapplied event.
+  std::size_t index() const { return index_; }
+
+ private:
+  void apply_until(double t, bool inclusive, const DeltaFn& fn);
+
+  const std::vector<TopologyEvent>* events_;
+  std::set<Edge> live_;
+  std::size_t index_ = 0;
+};
+
 class DynamicGraph {
  public:
   // Events are stably sorted by time on construction, preserving the
@@ -38,8 +76,11 @@ class DynamicGraph {
   const std::vector<Edge>& initial_edges() const { return initial_edges_; }
   const std::vector<TopologyEvent>& events() const { return events_; }
 
-  // Replays events with timestamp <= t over the initial edge set.
-  // Redundant adds/removes are ignored, matching the simulator.
+  // Replays events with timestamp <= t over the initial edge set
+  // (via a throwaway EdgeDeltaCursor).  Redundant adds/removes are
+  // ignored, matching the simulator.  O(events) per call -- tests and
+  // offline tools only; hot paths (NetworkSimulation, ShardedEngine)
+  // must consume deltas incrementally instead (grep-gated in CTest).
   std::vector<Edge> edges_at(sim::Time t) const;
   bool connected_at(sim::Time t) const;
 
@@ -69,6 +110,11 @@ class SnapshotUnionSweep {
   SnapshotUnionSweep(std::vector<Edge> initial_edges,
                      std::vector<TopologyEvent> events, double window);
 
+  // The internal delta cursor points into the owned event list, so the
+  // sweep is pinned to its construction address.
+  SnapshotUnionSweep(const SnapshotUnionSweep&) = delete;
+  SnapshotUnionSweep& operator=(const SnapshotUnionSweep&) = delete;
+
   // Advances to the next full window ending at or before `horizon`;
   // false (state unchanged) when that window is not complete yet.  The
   // cursor only moves forward, so interleaving calls with growing
@@ -85,12 +131,11 @@ class SnapshotUnionSweep {
   std::set<Edge> adds_at(double t) const;
 
  private:
-  std::vector<TopologyEvent> events_;
-  std::set<Edge> live_;
+  std::vector<TopologyEvent> events_;  // owned; cursor_ points into it
+  EdgeDeltaCursor cursor_;
   std::set<Edge> union_;
   double width_;
   std::size_t window_count_ = 0;  // full windows swept so far
-  std::size_t event_index_ = 0;
 };
 
 // The paper's standing assumption, checked over a whole schedule: for

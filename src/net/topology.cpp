@@ -46,7 +46,10 @@ Topology::Topology(std::size_t n, std::vector<Edge> edges)
   }
 }
 
-bool is_connected(std::size_t n, const std::vector<Edge>& edges) {
+namespace {
+
+template <typename Range>
+bool is_connected_range(std::size_t n, const Range& edges) {
   if (n <= 1) return true;
   DisjointSets sets(n);
   std::size_t components = n;
@@ -54,6 +57,16 @@ bool is_connected(std::size_t n, const std::vector<Edge>& edges) {
     if (sets.unite(e.u, e.v)) --components;
   }
   return components == 1;
+}
+
+}  // namespace
+
+bool is_connected(std::size_t n, const std::vector<Edge>& edges) {
+  return is_connected_range(n, edges);
+}
+
+bool is_connected(std::size_t n, const std::set<Edge>& edges) {
+  return is_connected_range(n, edges);
 }
 
 bool Topology::is_connected() const { return net::is_connected(n_, edges_); }

@@ -8,6 +8,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <set>
 #include <tuple>
 #include <vector>
 
@@ -58,6 +59,9 @@ Topology make_random_tree(std::size_t n, util::Rng& rng);
 // Connectivity over an arbitrary edge list (shared by Topology and the
 // dynamic-graph replay checks).
 bool is_connected(std::size_t n, const std::vector<Edge>& edges);
+// Set-range overload so window-union audits (SnapshotUnionSweep) never
+// materialize a vector copy of the union on the simulation path.
+bool is_connected(std::size_t n, const std::set<Edge>& edges);
 
 }  // namespace gcs::net
 

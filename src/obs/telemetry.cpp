@@ -1,6 +1,7 @@
 #include "obs/telemetry.hpp"
 
 #include <algorithm>
+#include <ostream>
 
 #include "util/json.hpp"
 
@@ -41,26 +42,46 @@ void TelemetryRecorder::on_trace(const TraceEvent& event) {
   trace_.push_back(Kept{seq, event});
 }
 
-std::string TelemetryRecorder::series_csv() const {
-  std::string out =
-      "t,global_skew,max_local_skew,max_envelope_ratio,live_edges,in_flight,"
-      "engine_pending\n";
-  for (const SeriesSample& s : samples_) {
-    out += json::dump_number(s.t);
-    out += ',';
-    out += json::dump_number(s.global_skew);
-    out += ',';
-    out += json::dump_number(s.max_local_skew);
-    out += ',';
-    out += json::dump_number(s.max_envelope_ratio);
-    out += ',';
-    out += std::to_string(s.live_edges);
-    out += ',';
-    out += std::to_string(s.in_flight);
-    out += ',';
-    out += std::to_string(s.engine_pending);
-    out += '\n';
+void TelemetryRecorder::on_sample(const SeriesSample& sample) {
+  if (series_sink_ != nullptr) {
+    *series_sink_ << series_row(sample);
+    return;
   }
+  samples_.push_back(sample);
+}
+
+void TelemetryRecorder::stream_series_to(std::ostream& sink) {
+  series_sink_ = &sink;
+  sink << series_csv_header();
+}
+
+const char* TelemetryRecorder::series_csv_header() {
+  return "t,global_skew,max_local_skew,max_envelope_ratio,live_edges,"
+         "in_flight,engine_pending\n";
+}
+
+std::string TelemetryRecorder::series_row(const SeriesSample& s) {
+  std::string out;
+  out += json::dump_number(s.t);
+  out += ',';
+  out += json::dump_number(s.global_skew);
+  out += ',';
+  out += json::dump_number(s.max_local_skew);
+  out += ',';
+  out += json::dump_number(s.max_envelope_ratio);
+  out += ',';
+  out += std::to_string(s.live_edges);
+  out += ',';
+  out += std::to_string(s.in_flight);
+  out += ',';
+  out += std::to_string(s.engine_pending);
+  out += '\n';
+  return out;
+}
+
+std::string TelemetryRecorder::series_csv() const {
+  std::string out = series_csv_header();
+  for (const SeriesSample& s : samples_) out += series_row(s);
   return out;
 }
 

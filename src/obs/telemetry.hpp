@@ -20,6 +20,7 @@
 #define GCS_OBS_TELEMETRY_HPP
 
 #include <cstdint>
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -35,18 +36,33 @@ class TelemetryRecorder : public Recorder {
       : capacity_(trace_capacity) {}
 
   void on_trace(const TraceEvent& event) override;
-  void on_sample(const SeriesSample& sample) override { samples_.push_back(sample); }
+  void on_sample(const SeriesSample& sample) override;
   bool wants_trace() const override { return capacity_ > 0; }
+
+  // Streaming mode: write the CSV header to `sink` now and append one
+  // row per on_sample as it arrives, instead of buffering rows for
+  // series_csv().  Both paths share series_csv_header()/series_row(), so
+  // a streamed file is byte-identical to a buffered one (test_runner.cpp
+  // compares whole trees); the recorder's memory stays O(1) in the
+  // sample count, which is what keeps gcs_run RSS flat on long-horizon
+  // cells.  Call before the run starts; `sink` must outlive the run.
+  void stream_series_to(std::ostream& sink);
 
   const std::vector<SeriesSample>& samples() const { return samples_; }
   std::uint64_t trace_seen() const { return seen_; }
   std::uint64_t trace_kept() const { return trace_.size(); }
   std::uint64_t trace_stride() const { return stride_; }
 
-  // cells/<label>.series.csv: header + one row per sample.
+  // cells/<label>.series.csv: header + one row per sample (buffered mode
+  // only; in streaming mode the rows are already on the sink).
   std::string series_csv() const;
   // cells/<label>.trace.jsonl: meta line + one line per kept event.
   std::string trace_jsonl() const;
+
+  // The shared formatters: header line and one data row, each with the
+  // trailing newline.
+  static const char* series_csv_header();
+  static std::string series_row(const SeriesSample& sample);
 
  private:
   struct Kept {
@@ -59,6 +75,7 @@ class TelemetryRecorder : public Recorder {
   std::uint64_t stride_ = 1;
   std::vector<Kept> trace_;
   std::vector<SeriesSample> samples_;
+  std::ostream* series_sink_ = nullptr;
 };
 
 }  // namespace gcs::obs

@@ -4,6 +4,7 @@
 
 #include <memory>
 
+#include "core/dcsa_columns.hpp"
 #include "core/network_sim.hpp"
 #include "core/weighted_dcsa_node.hpp"
 #include "net/delay.hpp"
@@ -21,22 +22,28 @@ gcs::core::SyncParams small_params(std::size_t n) {
   return p;
 }
 
+// Direct-call context for node-level tests: hw_now carries the clock, and
+// `now` (diagnostic only) just mirrors it.
+gcs::core::NodeContext at(gcs::core::NodeId self, double hw_now) {
+  return gcs::core::NodeContext{self, hw_now, hw_now};
+}
+
 TEST(DcsaNode, JumpsTowardLargerEstimateButNeverBackwards) {
   const auto p = small_params(2);
   gcs::core::DcsaNode node(p);
-  node.start(0, 0.0);
-  node.on_edge_up(1, 0.0);
+  node.start(at(0, 0.0));
+  node.on_edge_up(at(0, 0.0), 1);
   EXPECT_DOUBLE_EQ(node.logical_clock(5.0), 5.0);
 
-  node.on_message(1, 20.0, 5.0);
-  const double jump = node.step(5.0);
+  node.on_message(at(0, 5.0), 1, 20.0);
+  const double jump = node.step(at(0, 5.0));
   EXPECT_GT(jump, 0.0);
   EXPECT_DOUBLE_EQ(node.logical_clock(5.0), 20.0);
   EXPECT_TRUE(node.fast_mode());
 
   // A smaller (stale) estimate must not pull the clock down.
-  node.on_message(1, 1.0, 6.0);
-  EXPECT_DOUBLE_EQ(node.step(6.0), 0.0);
+  node.on_message(at(0, 6.0), 1, 1.0);
+  EXPECT_DOUBLE_EQ(node.step(at(0, 6.0)), 0.0);
   EXPECT_DOUBLE_EQ(node.logical_clock(6.0), 21.0);
 }
 
@@ -45,33 +52,33 @@ TEST(DcsaNode, CrippledToleranceBlocksJump) {
   // A tolerance with no G headroom: B(age) == b0 everywhere.
   const gcs::core::BFunction crippled(p.effective_b0(), 0.0, p.tau(), p.rho);
   gcs::core::DcsaNode node(p, crippled);
-  node.start(0, 0.0);
-  node.on_edge_up(1, 0.0);  // the neighbour far ahead
-  node.on_edge_up(2, 0.0);  // the laggard holding us back
+  node.start(at(0, 0.0));
+  node.on_edge_up(at(0, 0.0), 1);  // the neighbour far ahead
+  node.on_edge_up(at(0, 0.0), 2);  // the laggard holding us back
   const double b0 = p.effective_b0();
 
-  node.on_message(1, 100.0, 1.0);                // way ahead
-  node.on_message(2, -(b0 + 50.0), 1.0);         // way behind
+  node.on_message(at(0, 1.0), 1, 100.0);         // way ahead
+  node.on_message(at(0, 1.0), 2, -(b0 + 50.0));  // way behind
   EXPECT_TRUE(node.is_blocked_by(2, 1.0));
   EXPECT_FALSE(node.is_blocked_by(1, 1.0));
   // The cap (laggard's estimate + b0) sits below the current clock, so no
   // jump happens at all and the node free-runs at its hardware rate.
-  EXPECT_DOUBLE_EQ(node.step(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(node.step(at(0, 1.0)), 0.0);
   EXPECT_DOUBLE_EQ(node.logical_clock(1.0), 1.0);
 }
 
 TEST(DcsaNode, ProperToleranceDoesNotBlockFreshSkew) {
   auto p = small_params(3);
   gcs::core::DcsaNode node(p);  // proper B: B(0) = b0 + G(n) > G(n)
-  node.start(0, 0.0);
-  node.on_edge_up(1, 0.0);
-  node.on_edge_up(2, 0.0);
+  node.start(at(0, 0.0));
+  node.on_edge_up(at(0, 0.0), 1);
+  node.on_edge_up(at(0, 0.0), 2);
   // The laggard is behind by nearly the whole global bound -- legal for a
   // fresh edge, and by Lemma 6.10 it must not block.
-  node.on_message(1, 10.0, 1.0);
-  node.on_message(2, -(p.global_skew_bound() - 10.0), 1.0);
+  node.on_message(at(0, 1.0), 1, 10.0);
+  node.on_message(at(0, 1.0), 2, -(p.global_skew_bound() - 10.0));
   EXPECT_FALSE(node.is_blocked_by(2, 1.0));
-  node.step(1.0);
+  node.step(at(0, 1.0));
   EXPECT_DOUBLE_EQ(node.logical_clock(1.0), 10.0);
 }
 
@@ -81,18 +88,18 @@ TEST(WeightedDcsaNode, TightLinkTightensOnlyTheFloor) {
     return peer == 2 ? 0.5 : 1.0;
   };
   gcs::core::WeightedDcsaNode node(p, weight, 0.5);
-  node.start(0, 0.0);
-  node.on_edge_up(1, 0.0);
-  node.on_edge_up(2, 0.0);
+  node.start(at(0, 0.0));
+  node.on_edge_up(at(0, 0.0), 1);
+  node.on_edge_up(at(0, 0.0), 2);
   const double b0 = p.effective_b0();
 
   // Matured edges (age far past decay): the cap toward the tight peer 2
   // is half the cap toward the default peer 1.
   const double age = node.tolerance_fn().decay_age() + 100.0;
   const double before = node.logical_clock(age);
-  node.on_message(1, before + 1000.0, age);  // strong pull upward
-  node.on_message(2, before, age);           // tight peer level with us
-  node.step(age);
+  node.on_message(at(0, age), 1, before + 1000.0);  // strong pull upward
+  node.on_message(at(0, age), 2, before);  // tight peer level with us
+  node.step(at(0, age));
   // Overshoot over the tight peer is capped by the weighted floor w * b0.
   EXPECT_NEAR(node.logical_clock(age) - before, 0.5 * b0, 1e-9);
   EXPECT_TRUE(node.is_blocked_by(2, age));
@@ -126,6 +133,147 @@ TEST(NetworkSimulation, TwoCampRingStaysInsideBounds) {
   }
   EXPECT_LE(hi - lo, p.global_skew_bound());
   EXPECT_GT(hi, 50.0);  // clocks actually advanced through the horizon
+}
+
+// Sink that records the jumps reported through after(), for driving a
+// store directly.
+struct JumpSink : gcs::core::DeliverySink {
+  std::vector<double> jumps;
+  void before(const gcs::core::StoreDelivery&) override {}
+  void after(const gcs::core::StoreDelivery&, double jump) override {
+    jumps.push_back(jump);
+  }
+};
+
+// The struct-of-arrays store must reproduce DcsaNode's arithmetic bit
+// for bit: same deliveries, same jumps, same logical clocks, same fast
+// flag -- including across edge churn that exercises slot reuse.
+TEST(DcsaColumns, MirrorsDcsaNodeBitForBit) {
+  const auto p = small_params(4);
+  gcs::core::DcsaNode node(p);
+  gcs::core::DcsaColumns cols(p, 4);
+
+  const gcs::core::NodeContext zero = at(0, 0.0);
+  node.start(zero);
+  for (gcs::core::NodeId u = 0; u < 4; ++u) cols.start(at(u, 0.0));
+  for (gcs::core::NodeId peer : {1u, 2u, 3u}) {
+    node.on_edge_up(zero, peer);
+    cols.edge_up(zero, peer);
+  }
+
+  JumpSink sink;
+  std::vector<double> node_jumps;
+  const double values[] = {7.5, -3.25, 12.0, 11.875, 0.5, 40.0};
+  double hw = 0.5;
+  for (std::size_t k = 0; k < 6; ++k, hw += 0.625) {
+    const gcs::core::NodeId from = 1 + (k % 3);
+    gcs::core::StoreDelivery d;
+    d.from = from;
+    d.to = 0;
+    d.value = values[k];
+    d.hw_now = hw;
+    d.now = hw;
+    node.on_message(at(0, hw), from, values[k]);
+    node_jumps.push_back(node.step(at(0, hw)));
+    cols.on_deliveries(&d, 1, sink);
+    ASSERT_EQ(sink.jumps.size(), k + 1);
+    EXPECT_EQ(sink.jumps[k], node_jumps[k]) << "record " << k;
+    EXPECT_EQ(cols.logical_clock(0, hw), node.logical_clock(hw));
+    EXPECT_EQ(cols.fast_mode(0), node.fast_mode());
+
+    if (k == 2) {  // churn an edge mid-stream: both must forget peer 2
+      node.on_edge_down(at(0, hw), 2);
+      cols.edge_down(at(0, hw), 2);
+      node.on_edge_up(at(0, hw), 2);
+      cols.edge_up(at(0, hw), 2);
+    }
+  }
+}
+
+// Slot-arena mechanics: segments grow past the initial capacity by
+// relocation, edge_down swap-removes, and the books (live_slots,
+// arena_bytes) stay consistent.
+TEST(DcsaColumns, SlotArenaGrowsAndShrinks) {
+  const auto p = small_params(64);
+  gcs::core::DcsaColumns cols(p, 64);
+  for (gcs::core::NodeId u = 0; u < 64; ++u) cols.start(at(u, 0.0));
+
+  // Degree 12 on node 0 forces two relocations (cap 4 -> 8 -> 16).
+  for (gcs::core::NodeId peer = 1; peer <= 12; ++peer) {
+    cols.edge_up(at(0, 0.0), peer);
+  }
+  EXPECT_EQ(cols.live_slots(), 12u);
+  EXPECT_GT(cols.arena_bytes(), 0u);
+
+  for (gcs::core::NodeId peer = 1; peer <= 12; ++peer) {
+    cols.edge_down(at(0, 1.0), peer);
+  }
+  EXPECT_EQ(cols.live_slots(), 0u);
+
+  // Re-adding after a full teardown reuses the segment cleanly.
+  cols.edge_up(at(0, 2.0), 5);
+  EXPECT_EQ(cols.live_slots(), 1u);
+  gcs::core::StoreDelivery d;
+  d.from = 5;
+  d.to = 0;
+  d.value = 100.0;
+  d.hw_now = 2.0;
+  d.now = 2.0;
+  JumpSink sink;
+  cols.on_deliveries(&d, 1, sink);
+  EXPECT_GT(sink.jumps.at(0), 0.0);
+  EXPECT_EQ(cols.logical_clock(0, 2.0), 100.0);
+}
+
+// End-to-end store equivalence at the simulation layer: the columns
+// store and the per-node adapter must produce bit-identical clocks and
+// identical statistics on the same dynamic run.
+TEST(NetworkSimulation, ColumnsMatchesAdapterTrajectory) {
+  const auto p = small_params(8);
+  auto make_schedules = [&] {
+    std::vector<gcs::clk::RateSchedule> schedules;
+    for (std::size_t i = 0; i < p.n; ++i) {
+      schedules.emplace_back(i % 2 == 0 ? 1.0 + p.rho : 1.0 - p.rho);
+    }
+    return schedules;
+  };
+  auto make_graph = [&] {
+    // Ring plus churn: one edge flaps every 3 time units.
+    std::vector<gcs::net::TopologyEvent> events;
+    for (int k = 0; k < 10; ++k) {
+      events.push_back({3.0 * k + 1.0, gcs::net::Edge(0, 4), k % 2 == 0});
+    }
+    return gcs::net::DynamicGraph(p.n, gcs::net::make_ring(p.n).edges(),
+                                  events);
+  };
+
+  gcs::core::NetworkSimulation columns(
+      p, make_graph(), gcs::net::make_constant_delay(p.T, p.T / 2.0),
+      make_schedules());
+  gcs::core::NetworkSimulation adapter(
+      p, make_graph(), gcs::net::make_constant_delay(p.T, p.T / 2.0),
+      make_schedules(), [&p](gcs::core::NodeId) {
+        return std::make_unique<gcs::core::DcsaNode>(p);
+      });
+  columns.run_until(40.0);
+  adapter.run_until(40.0);
+
+  for (gcs::core::NodeId u = 0; u < p.n; ++u) {
+    EXPECT_EQ(columns.logical_clock(u), adapter.logical_clock(u)) << "node "
+                                                                  << u;
+  }
+  EXPECT_EQ(columns.stats().messages_delivered,
+            adapter.stats().messages_delivered);
+  EXPECT_EQ(columns.stats().jumps, adapter.stats().jumps);
+  EXPECT_EQ(columns.stats().total_jump, adapter.stats().total_jump);
+  EXPECT_GT(columns.stats().jumps, 0u);
+  // The columns store reports its arena; the adapter hides state behind
+  // heap objects and reports 0.
+  EXPECT_GT(columns.stats().arena_bytes, 0u);
+  EXPECT_EQ(adapter.stats().arena_bytes, 0u);
+  // The adapter exposes per-node automatons, the columns store does not.
+  EXPECT_NO_THROW(adapter.node(0));
+  EXPECT_THROW(columns.node(0), std::logic_error);
 }
 
 }  // namespace

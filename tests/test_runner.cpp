@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdint>
 #include <filesystem>
 #include <fstream>
 #include <map>
@@ -145,6 +146,103 @@ TEST(Runner, ParallelRunIsByteIdenticalToSerial) {
   // the cell/failure counters prefix.
   EXPECT_EQ(log_a.str().substr(0, log_a.str().find(" events in")),
             log_b.str().substr(0, log_b.str().find(" events in")));
+}
+
+TEST(Runner, StreamedArtifactsAreByteIdenticalToBuffered) {
+  // The streaming writer (campaign.csv/jsonl appended per committed
+  // cell, series rows flushed straight from the recorder) must produce
+  // exactly the bytes the buffered writer produced -- it is a memory
+  // optimization, not a format change.
+  const fs::path dir_s = fresh_dir("streamed");
+  const fs::path dir_b = fresh_dir("buffered");
+  const cli::Campaign campaign = small_campaign();
+
+  cli::RunnerOptions options;
+  options.quiet = true;
+  options.fixed_timing = true;
+  options.series = true;
+  options.trace = true;
+  options.trace_limit = 64;
+  options.jobs = 2;
+  std::ostringstream log;
+
+  options.stream_artifacts = true;
+  options.out_dir = dir_s.string();
+  ASSERT_EQ(cli::run_campaign(campaign, options, log), 0);
+  options.stream_artifacts = false;
+  options.out_dir = dir_b.string();
+  ASSERT_EQ(cli::run_campaign(campaign, options, log), 0);
+
+  for (const char* artifact : {"campaign.csv", "campaign.jsonl",
+                               "summary.json"}) {
+    EXPECT_EQ(read_file(dir_s / artifact), read_file(dir_b / artifact))
+        << artifact;
+  }
+  std::size_t files_compared = 0;
+  for (const auto& entry : fs::directory_iterator(dir_s / "cells")) {
+    const fs::path other = dir_b / "cells" / entry.path().filename();
+    ASSERT_TRUE(fs::exists(other)) << other;
+    EXPECT_EQ(read_file(entry.path()), read_file(other))
+        << entry.path().filename();
+    ++files_compared;
+  }
+  // json + series.csv + trace.jsonl per cell, in both trees.
+  EXPECT_EQ(files_compared, campaign.cells.size() * 3);
+}
+
+TEST(Runner, StreamedSeriesOfErroredCellIsRemoved) {
+  // An errored cell must not leave a partial (header-only) series file
+  // behind when the series stream was already open.
+  const fs::path dir = fresh_dir("errored-series");
+  const cli::Campaign campaign = cli::build_campaign(
+      nullptr, {{"name", "err"}, {"n", "1,6"}, {"topology", "ring"},
+                {"horizon", "5"}});
+  cli::RunnerOptions options;
+  options.quiet = true;
+  options.series = true;
+  options.out_dir = dir.string();
+  std::ostringstream log;
+  EXPECT_EQ(cli::run_campaign(campaign, options, log), 1);
+
+  std::size_t series_files = 0;
+  std::size_t json_files = 0;
+  for (const auto& entry : fs::directory_iterator(dir / "cells")) {
+    const std::string name = entry.path().filename().string();
+    if (name.find(".series.csv") != std::string::npos) ++series_files;
+    if (entry.path().extension() == ".json") ++json_files;
+  }
+  EXPECT_EQ(json_files, 1u);    // only the clean cell wrote a document
+  EXPECT_EQ(series_files, 1u);  // and only it kept a series file
+}
+
+TEST(Runner, PeakRssIsFilledUnlessTimingIsFixed) {
+  const fs::path live = fresh_dir("rss-live");
+  const fs::path pinned = fresh_dir("rss-pinned");
+  cli::Campaign campaign = small_campaign();
+  campaign.cells.resize(1);
+
+  cli::RunnerOptions options;
+  options.quiet = true;
+  std::ostringstream log;
+  options.out_dir = live.string();
+  ASSERT_EQ(cli::run_campaign(campaign, options, log), 0);
+  options.fixed_timing = true;
+  options.out_dir = pinned.string();
+  ASSERT_EQ(cli::run_campaign(campaign, options, log), 0);
+
+  auto rss_of = [](const fs::path& tree) {
+    for (const auto& entry : fs::directory_iterator(tree / "cells")) {
+      if (entry.path().extension() == ".json") {
+        const json::Value doc = json::parse(read_file(entry.path()));
+        return doc.at("result").at("run_stats").at("peak_rss_kb").as_u64();
+      }
+    }
+    return std::uint64_t{0};
+  };
+  // Any real process has megabytes resident; --fixed-timing pins the
+  // counter to 0 so trees stay byte-comparable.
+  EXPECT_GT(rss_of(live), 1000u);
+  EXPECT_EQ(rss_of(pinned), 0u);
 }
 
 TEST(Runner, ErroredCellsAreDisjointFromFailedAndLogTimingOnly) {

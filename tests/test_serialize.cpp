@@ -91,6 +91,26 @@ TEST(Serialize, RejectsSchemaDrift) {
   json::Value series_drift = harness::to_json(run_small());
   series_drift["series"].as_object().erase("max_envelope_ratio");
   EXPECT_THROW(harness::result_from_json(series_drift), json::Error);
+
+  // The v5 memory pair is required like every other counter.
+  json::Value no_arena = harness::to_json(run_small());
+  no_arena["run_stats"].as_object().erase("arena_bytes");
+  EXPECT_THROW(harness::result_from_json(no_arena), json::Error);
+
+  json::Value no_rss = harness::to_json(run_small());
+  no_rss["run_stats"].as_object().erase("peak_rss_kb");
+  EXPECT_THROW(harness::result_from_json(no_rss), json::Error);
+}
+
+TEST(Serialize, V5MemoryCountersTravel) {
+  const harness::ExperimentResult result = run_small();
+  const harness::ExperimentResult back = harness::result_from_json(
+      json::parse(json::dump(harness::to_json(result))));
+  // run_small uses the default columns store, whose arena is real; the
+  // runner-filled peak_rss_kb stays 0 at this layer.
+  EXPECT_GT(result.run_stats.arena_bytes, 0u);
+  EXPECT_EQ(back.run_stats.arena_bytes, result.run_stats.arena_bytes);
+  EXPECT_EQ(back.run_stats.peak_rss_kb, result.run_stats.peak_rss_kb);
 }
 
 TEST(Serialize, V3SubobjectsTravel) {
@@ -131,6 +151,7 @@ TEST(Serialize, ConfigRoundTrip) {
   cfg.delay = "constant:0.25";
   cfg.engine = "heap";
   cfg.delivery = "per-receiver";
+  cfg.store = "adapter";
   cfg.horizon = 75.0;
   cfg.sample_dt = 0.25;
   cfg.seed = 99;
@@ -141,6 +162,7 @@ TEST(Serialize, ConfigRoundTrip) {
   EXPECT_EQ(harness::config_to_json(back), doc);
   EXPECT_EQ(back.params.n, 12u);
   EXPECT_EQ(back.delay, "constant:0.25");
+  EXPECT_EQ(back.store, "adapter");
   EXPECT_EQ(back.seed, 99u);
 }
 
@@ -151,6 +173,7 @@ TEST(Serialize, ConfigReaderDefaultsMissingAndRejectsUnknownKeys) {
   EXPECT_EQ(sparse.drift, "walk");
   EXPECT_EQ(sparse.topology, "path");  // ExperimentConfig default
   EXPECT_EQ(sparse.engine, "calendar");
+  EXPECT_EQ(sparse.store, "columns");
 
   EXPECT_THROW(
       harness::config_from_json(json::parse(R"({"topologyy": "ring"})")),

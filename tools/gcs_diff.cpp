@@ -5,9 +5,11 @@
 //   gcs_diff A B --tol=1e-9 --timing
 //
 // Cells match by label; counters/strings compare exactly, float physics
-// fields within --tol, and wall_ms/events_per_sec are ignored unless
-// --timing is given (timing is the one nondeterministic output, so a
-// --jobs N tree diffs clean against a --jobs 1 baseline).  Exit codes:
+// fields within --tol, and the machine-describing fields (wall_ms,
+// events_per_sec, arena_bytes, peak_rss_kb) are ignored unless --timing
+// is given (they describe the host and store layout, not the
+// trajectory, so a --jobs N or --store=adapter tree diffs clean against
+// a --jobs 1 columns baseline).  Exit codes:
 // 0 trees match (or differences found without --strict), 1 differences
 // under --strict, 2 bad usage or unreadable tree.
 #include <cstdlib>
@@ -26,8 +28,9 @@ usage: gcs_diff TREE_A TREE_B [options]
 options:
   --tol X           absolute tolerance for float physics fields
                     (default 0: exact); counters always compare exactly
-  --timing          also compare wall_ms / events_per_sec (off by default;
-                    timing is nondeterministic across runs)
+  --timing          also compare the machine fields wall_ms /
+                    events_per_sec / arena_bytes / peak_rss_kb (off by
+                    default; they vary across runs and store layouts)
   --strict          exit 1 on any difference (missing/extra cells, field
                     diffs, schema-version mismatches)
   --max-diffs N     cap on printed difference lines (default 64)

@@ -52,7 +52,9 @@ sweepable keys (comma lists and integer ranges a..b become axes):
   delivery (batched|per-receiver), shards (0 = classic single-queue
   engine; >= 1 runs the sharded conservative-parallel engine, which
   needs a delay with a positive floor, e.g. constant:0.5 or
-  uniform:0.25), rho, T, D, delta_h, B0,
+  uniform:0.25), store (columns = struct-of-arrays node state, the
+  scale default; adapter = per-node objects, the byte-identical
+  reference path), rho, T, D, delta_h, B0,
   horizon, sample_dt, seed (alias: seeds)
   scenario: kind[:knob=value...] with kind churn|switching-star|mobility|
   gauss-markov|group|trace (docs/scenarios.md documents every knob;
