@@ -62,8 +62,13 @@ cancels):
 If a benchmark was run with repetitions the median aggregate is preferred
 over the raw iterations.
 
-Exit codes: 0 pass, 1 regression, 2 unusable input (missing shapes --
-a renamed benchmark must fail loudly, not skip the gate).
+Exit codes: 0 pass, 1 regression, 2 unusable input.  Unusable means any
+shape or counter a gate depends on is absent: an empty OR partial Hold
+shape overlap (a shape present on only one side is a renamed/dropped
+benchmark, not a smaller gate), a missing telemetry/sharded/columns
+counter, or a current run without ``hw_threads`` (which would otherwise
+silently downgrade the sharded gate to informational).  A renamed
+benchmark must fail loudly, never skip the gate.
 """
 
 import argparse
@@ -228,6 +233,24 @@ def main():
               f"pending >= {args.min_pending} in both files -- "
               "was the benchmark renamed or the filter wrong?", file=sys.stderr)
         return 2
+    # A partial overlap is just as unusable as an empty one: a shape that
+    # exists on only one side means a benchmark was renamed, dropped, or
+    # filtered out, and comparing the survivors would silently shrink the
+    # gate's coverage.  Fail loudly and name the strays.
+    only_baseline = sorted(set(baseline) - set(current))
+    only_current = sorted(set(current) - set(baseline))
+    if only_baseline or only_current:
+        def fmt(keys):
+            return ", ".join(f"pending={k[0]}/{k[1]}" for k in keys)
+        if only_baseline:
+            print("perf_compare: Hold shape(s) in baseline but missing from "
+                  f"current: {fmt(only_baseline)}", file=sys.stderr)
+        if only_current:
+            print("perf_compare: Hold shape(s) in current but missing from "
+                  f"baseline: {fmt(only_current)}", file=sys.stderr)
+        print("perf_compare: Hold shape sets must match exactly -- "
+              "regenerate whichever file is stale", file=sys.stderr)
+        return 2
 
     failures = 0
     print(f"{'shape':<24} {'baseline':>9} {'current':>9} {'floor':>9}  verdict")
@@ -264,11 +287,20 @@ def main():
               " -- regenerate the baseline with the sharded benchmark in "
               "the filter", file=sys.stderr)
         return 2
-    enforced = cur_threads is not None and cur_threads >= 4
+    if cur_threads is None:
+        # Without the host's thread count the small-host carve-out cannot be
+        # decided, and defaulting to "informational" would let a renamed or
+        # dropped counter silently disable the gate.
+        print(f"perf_compare: {SHARDED_NAME}'s {SHARDED_THREADS_COUNTER} "
+              "counter missing from current -- the sharded gate cannot tell "
+              "whether this host qualifies for enforcement; regenerate the "
+              "run with the counter intact", file=sys.stderr)
+        return 2
+    enforced = cur_threads >= 4
     sharded_ok = (not enforced) or cur_sharded >= args.min_sharded_speedup
     failures += 0 if sharded_ok else 1
     verdict = ("ok" if sharded_ok else "REGRESSION") if enforced else \
-        f"informational ({cur_threads or '?'} hw thread(s))"
+        f"informational ({cur_threads} hw thread(s))"
     print(f"{'sharded-speedup':<24} {base_sharded:>8.2f}x "
           f"{cur_sharded:>8.2f}x {args.min_sharded_speedup:>8.2f}x  {verdict}")
 

@@ -252,10 +252,10 @@ namespace {
 // readability), then model constants, then the seed.  Labels and file
 // names follow this order, so reordering it is a (cosmetic) schema change.
 const char* const kAxisOrder[] = {"n",     "topology", "scenario", "drift",
-                                  "delay", "engine",   "delivery", "rho",
-                                  "T",     "D",        "delta_h",  "B0",
-                                  "horizon", "sample_dt", "shards", "store",
-                                  "seed"};
+                                  "delay", "traffic",  "engine",   "delivery",
+                                  "rho",   "T",        "D",        "delta_h",
+                                  "B0",    "horizon",  "sample_dt", "shards",
+                                  "store", "seed"};
 
 bool is_known_axis(const std::string& key) {
   for (const char* axis : kAxisOrder) {
@@ -449,6 +449,7 @@ Campaign build_campaign(const json::Value* doc,
     }
     total *= axis.values.size();
     if (total > 10000) fail("sweep expands to more than 10000 cells");
+    campaign.axes.push_back(AxisInfo{axis.key, axis.values.size()});
     axes.push_back(std::move(axis));
   }
 

@@ -100,9 +100,20 @@ struct Cell {
   std::string label;  // unique within the campaign, filesystem-safe
 };
 
+// One resolved dimension of the cross-product: the axis key and how many
+// values it contributes (1 for a pinned default).  gcs_run --list prints
+// these so an oversized sweep is visible before anything runs.
+struct AxisInfo {
+  std::string key;
+  std::size_t cardinality = 1;
+};
+
 struct Campaign {
   std::string name = "campaign";
   std::vector<Cell> cells;
+  // The axes present in the document/overrides, in canonical order;
+  // cells.size() is the product of the cardinalities.
+  std::vector<AxisInfo> axes;
 };
 
 // Expands a campaign document plus --key=value overrides into cells.

@@ -29,6 +29,9 @@ bool is_float_field(const std::string& key) {
       "mean_global_skew", "max_envelope_ratio",
       // run_stats
       "total_jump", "first_clamped_time",
+      // run_stats sync-latency pair (schema v6); the queue/drop/mark
+      // fields next to them are counters
+      "sync_delay_sum", "sync_delay_max",
       // timing
       "wall_ms", "events_per_sec",
       // config echo
@@ -206,10 +209,17 @@ struct Differ {
       // settings should diff clean.  The engine_stats shard counters are
       // already K-invariant; the store-dependent arena_bytes is skipped
       // with the timing fields above.
+      // The traffic spec echo is stripped for the same reason trees are
+      // expected to diff clean across it only when the physics agree:
+      // "off" and an infinite-bandwidth "idle" produce identical
+      // trajectories (the link-equivalence matrix proves it), and any
+      // real contention shows up in the exactly-compared queue/drop/mark
+      // counters and the skew fields, not in the spec string.
       if (const auto it = fields.find("config");
           it != fields.end() && it->second.is_object()) {
         it->second.as_object().erase("shards");
         it->second.as_object().erase("store");
+        it->second.as_object().erase("traffic");
       }
     }
     diff_value(cell, "", "", a_cmp, b_cmp);

@@ -29,6 +29,12 @@ struct Row {
   double env_ratio = 0.0;  // result.series.max_envelope_ratio
   std::uint64_t messages = 0;
   std::uint64_t violations = 0;  // global + envelope
+  // Link-pipeline counters (schema v6) for the contention view.
+  std::uint64_t traffic_packets = 0;
+  std::uint64_t traffic_dropped = 0;
+  std::uint64_t ecn_marks = 0;
+  std::uint64_t peak_queue_bytes = 0;
+  double sync_delay_sum = 0.0;
 };
 
 std::string num(double v) { return json::dump_number(v); }
@@ -46,6 +52,7 @@ std::vector<std::pair<std::string, std::string>> axis_values(const Row& row) {
       {"engine", c.engine},
       {"n", num(static_cast<double>(c.params.n))},
       {"seed", num(static_cast<double>(c.seed))},
+      {"traffic", c.traffic},
       {"workload", row.workload},
   };
 }
@@ -78,6 +85,11 @@ int write_report(const std::string& tree_dir, const ReportOptions& options,
       row.env_ratio = result.series.max_envelope_ratio;
       row.violations = result.global_violations + result.envelope_violations;
       row.messages = result.run_stats.messages_sent;
+      row.traffic_packets = result.run_stats.traffic_packets;
+      row.traffic_dropped = result.run_stats.traffic_dropped;
+      row.ecn_marks = result.run_stats.ecn_marks;
+      row.peak_queue_bytes = result.run_stats.peak_queue_bytes;
+      row.sync_delay_sum = result.run_stats.sync_delay_sum;
       rows.push_back(std::move(row));
     } catch (const std::exception& e) {
       skipped.push_back(label + ": " + e.what());
@@ -164,6 +176,46 @@ int write_report(const std::string& tree_dir, const ReportOptions& options,
           << "  " << num(row->config.params.effective_b0()) << "  "
           << num(row->observed) << "  " << num(row->ratio) << "  "
           << row->label << "\n";
+    }
+  }
+
+  if (options.contention) {
+    // Observed skew vs offered load: one group per traffic spec, so a
+    // sweep pairing a zero-load twin with loaded variants reads as a
+    // dose-response table.  Mean sync delay is the per-sync-message
+    // latency (run_stats.sync_delay_sum / messages_sent) averaged over
+    // the group's messages; std::map keeps group order deterministic.
+    struct Group {
+      obs::StreamStat ratio;
+      double sync_delay_sum = 0.0;
+      std::uint64_t messages = 0;
+      std::uint64_t packets = 0;
+      std::uint64_t dropped = 0;
+      std::uint64_t marks = 0;
+      std::uint64_t peak_queue = 0;
+    };
+    std::map<std::string, Group> groups;
+    for (const Row& row : rows) {
+      Group& g = groups[row.config.traffic];
+      g.ratio.add(row.ratio);
+      g.sync_delay_sum += row.sync_delay_sum;
+      g.messages += row.messages;
+      g.packets += row.traffic_packets;
+      g.dropped += row.traffic_dropped;
+      g.marks += row.ecn_marks;
+      g.peak_queue = std::max(g.peak_queue, row.peak_queue_bytes);
+    }
+    out << "\ncontention: observed skew vs offered load\n";
+    out << "  cells  mean_ratio  max_ratio  mean_sync_delay  packets  "
+           "dropped  marks  peak_queue_bytes  traffic\n";
+    for (const auto& [traffic, g] : groups) {
+      const double mean_delay =
+          g.messages > 0 ? g.sync_delay_sum / static_cast<double>(g.messages)
+                         : 0.0;
+      out << "  " << g.ratio.count() << "  " << num(g.ratio.mean()) << "  "
+          << num(g.ratio.max()) << "  " << num(mean_delay) << "  " << g.packets
+          << "  " << g.dropped << "  " << g.marks << "  " << g.peak_queue
+          << "  " << traffic << "\n";
     }
   }
 

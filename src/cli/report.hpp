@@ -14,7 +14,12 @@
 //   * with `frontier`, the skew-vs-message-cost frontier: cells sorted
 //     by messages sent, with their delta_h / B0 knobs -- the reporting
 //     path for the bench_ablation tolerance variants (see
-//     campaigns/ablation.json).
+//     campaigns/ablation.json);
+//   * with `contention`, the observed-skew-vs-offered-load view: cells
+//     grouped by their traffic spec (config.traffic), each group with
+//     its mean/max skew ratio, mean sync-message latency, and the
+//     queue/drop/mark totals -- the reporting path for
+//     campaigns/contention.json.
 //
 // Output is deterministic (sorted maps, shortest-round-trip numbers):
 // running the report twice on one tree produces identical bytes, which
@@ -29,8 +34,9 @@
 namespace gcs::cli {
 
 struct ReportOptions {
-  std::size_t top_k = 5;   // rows in the "tightest cells" section
-  bool frontier = false;   // add the skew-vs-message-cost section
+  std::size_t top_k = 5;    // rows in the "tightest cells" section
+  bool frontier = false;    // add the skew-vs-message-cost section
+  bool contention = false;  // add the skew-vs-offered-load section
 };
 
 // Renders the report for `tree_dir` to `out`.  Returns 0 when every

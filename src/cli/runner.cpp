@@ -28,11 +28,13 @@ namespace json = gcs::util::json;
 namespace fs = std::filesystem;
 
 const char kCsvHeader[] =
-    "campaign,cell,n,workload,drift,delay,engine,delivery,seed,horizon,"
-    "sample_dt,samples,max_global_skew,global_skew_bound,global_margin,"
-    "max_local_skew,local_skew_floor,global_violations,envelope_violations,"
-    "monotonicity_failures,messages_sent,messages_delivered,messages_dropped,"
-    "delivery_events,events_executed,clamped_events,wall_ms,events_per_sec";
+    "campaign,cell,n,workload,drift,delay,traffic,engine,delivery,seed,"
+    "horizon,sample_dt,samples,max_global_skew,global_skew_bound,"
+    "global_margin,max_local_skew,local_skew_floor,global_violations,"
+    "envelope_violations,monotonicity_failures,messages_sent,"
+    "messages_delivered,messages_dropped,delivery_events,traffic_packets,"
+    "traffic_dropped,ecn_marks,peak_queue_bytes,sync_delay_sum,"
+    "sync_delay_max,events_executed,clamped_events,wall_ms,events_per_sec";
 
 std::string csv_field(const std::string& field) {
   if (field.find_first_of(",\"\n\r") == std::string::npos) return field;
@@ -82,7 +84,8 @@ std::string csv_row(const Campaign& campaign, const Cell& cell,
   row << csv_field(campaign.name) << ',' << csv_field(cell.label) << ','
       << cell.config.params.n << ',' << csv_field(workload) << ','
       << csv_field(cell.config.drift) << ',' << csv_field(cell.config.delay)
-      << ',' << csv_field(cell.config.engine) << ','
+      << ',' << csv_field(cell.config.traffic) << ','
+      << csv_field(cell.config.engine) << ','
       << csv_field(cell.config.delivery) << ',' << cell.config.seed << ','
       << num(cell.config.horizon) << ',' << num(cell.config.sample_dt) << ','
       << result.samples << ',' << num(result.max_global_skew) << ','
@@ -93,6 +96,9 @@ std::string csv_row(const Campaign& campaign, const Cell& cell,
       << ',' << stats.conformance_monotonicity_failures << ','
       << stats.messages_sent << ',' << stats.messages_delivered << ','
       << stats.messages_dropped << ',' << stats.delivery_events << ','
+      << stats.traffic_packets << ',' << stats.traffic_dropped << ','
+      << stats.ecn_marks << ',' << stats.peak_queue_bytes << ','
+      << num(stats.sync_delay_sum) << ',' << num(stats.sync_delay_max) << ','
       << result.events_executed << ',' << result.clamped_events << ','
       << num(wall_ms) << ',' << num(events_per_sec);
   return row.str();
@@ -204,6 +210,12 @@ int run_campaign(const Campaign& campaign, const RunnerOptions& options,
         doc["scenario"] = cell.scenario.to_json();
       }
       log << cell.label << " " << json::dump(doc) << "\n";
+    }
+    // Per-axis cardinality, so an oversized sweep is visible (and
+    // explainable: the cell count is the product of these) before
+    // anything runs.
+    for (const AxisInfo& axis : campaign.axes) {
+      log << "axis " << axis.key << ": " << axis.cardinality << " value(s)\n";
     }
     log << campaign.cells.size() << " cell(s)\n";
     return 0;

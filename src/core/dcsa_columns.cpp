@@ -52,11 +52,18 @@ void DcsaColumns::reserve_slot(NodeId u) {
 }
 
 void DcsaColumns::maybe_compact() {
-  // Rebuild only when abandoned holes dominate the arena; caps are kept
-  // (they encode degree history), so a compaction never triggers an
-  // immediate regrow.  Runs only from edge_up -- the simulator's global
-  // context -- so no delivery can be scanning the arena concurrently.
-  if (hole_slots_ < 4096 || hole_slots_ * 2 < slot_peer_.size()) return;
+  // Rebuild only when abandoned holes are worth reclaiming: at least a
+  // quarter of the arena, and big enough in absolute terms to pay for
+  // the rebuild.  The fraction must be < 1/2: doubling growth leaves a
+  // relocated segment's full history (4+8+...+c/2 = c-4 holes) against
+  // 2c-4 allocated slots, so holes approach but NEVER reach half the
+  // arena -- a half threshold is unreachable dead code (a test pins
+  // this by asserting compaction actually fires under churn).  Caps are
+  // kept (they encode degree history), so a compaction never triggers
+  // an immediate regrow.  Runs only from edge_up -- the simulator's
+  // global context -- so no delivery can be scanning the arena
+  // concurrently.
+  if (hole_slots_ < 4096 || hole_slots_ * 4 < slot_peer_.size()) return;
   std::size_t packed = 0;
   for (std::size_t u = 0; u < cap_.size(); ++u) packed += cap_[u];
   std::vector<NodeId> peer(packed);

@@ -6,7 +6,8 @@
 // peers occupy slots [head_[u], head_[u] + count_[u]) of the parallel
 // columns {peer, hw_up, has_estimate, value, hw_recv}.  Segments grow
 // by relocation to the arena tail (amortized doubling) and the arena
-// compacts when abandoned holes dominate, so a million-node churn run
+// compacts when abandoned holes pile up past a quarter of it, so a
+// million-node churn run
 // costs a handful of contiguous allocations instead of a million
 // std::map instances.
 //

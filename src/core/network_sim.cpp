@@ -101,20 +101,20 @@ struct NetworkSimulation::ShardedSink : DeliverySink {
 
 NetworkSimulation::NetworkSimulation(const SyncParams& params,
                                      net::DynamicGraph graph,
-                                     net::DelayModel delay,
+                                     net::LinkModel link,
                                      std::vector<clk::RateSchedule> schedules,
                                      SimOptions options)
-    : NetworkSimulation(params, std::move(graph), std::move(delay),
+    : NetworkSimulation(params, std::move(graph), std::move(link),
                         std::move(schedules), NodeFactory{}, options) {}
 
 NetworkSimulation::NetworkSimulation(const SyncParams& params,
                                      net::DynamicGraph graph,
-                                     net::DelayModel delay,
+                                     net::LinkModel link,
                                      std::vector<clk::RateSchedule> schedules,
                                      NodeFactory factory, SimOptions options)
     : params_(params),
       bfunc_(params),
-      delay_(std::move(delay)),
+      link_(std::move(link)),
       options_(options),
       recorder_(options.recorder),
       trace_(options.recorder != nullptr && options.recorder->wants_trace()),
@@ -127,7 +127,7 @@ NetworkSimulation::NetworkSimulation(const SyncParams& params,
     throw std::invalid_argument(
         "NetworkSimulation: one RateSchedule per node required");
   }
-  if (!delay_.sample) {
+  if (!link_.prop.sample) {
     throw std::invalid_argument("NetworkSimulation: delay model has no sampler");
   }
   clocks_.reserve(n);
@@ -158,18 +158,22 @@ NetworkSimulation::NetworkSimulation(const SyncParams& params,
       throw std::invalid_argument(
           "NetworkSimulation: shards capped at 256 (one thread per shard)");
     }
-    if (!(delay_.floor > 0.0)) {
+    if (!(link_.prop.floor > 0.0)) {
       throw std::invalid_argument(
           "NetworkSimulation: sharded mode needs a delay model with a "
           "positive floor (the conservative lookahead window); use a "
           "constant delay or a uniform one with lo > 0");
     }
-    if (delay_.floor > delay_.bound) {
+    if (link_.prop.floor > link_.prop.bound) {
       throw std::invalid_argument(
           "NetworkSimulation: delay floor exceeds its bound");
     }
     const std::size_t k = std::min<std::size_t>(options_.shards, n);
-    sharded_ = std::make_unique<sim::ShardedEngine>(k, delay_.floor,
+    // The lookahead window is the PROPAGATION floor even with a traffic
+    // pipeline configured: queueing only adds delay on top of the
+    // propagation draw, so total >= prop >= floor and the barrier-merge
+    // contract holds under any load (see the class comment).
+    sharded_ = std::make_unique<sim::ShardedEngine>(k, link_.prop.floor,
                                                     options_.engine_policy);
     shard_of_.resize(n);
     for (std::size_t u = 0; u < n; ++u) {
@@ -184,6 +188,7 @@ NetworkSimulation::NetworkSimulation(const SyncParams& params,
     node_msg_index_.assign(n, 0);
     shard_counters_.assign(k + 1, ShardCounters{});
     node_jump_.assign(n, 0.0);
+    node_sync_delay_.assign(n, 0.0);
     if (trace_) {
       trace_bufs_.resize(k + 1);
       node_trace_seq_.assign(n, 0);
@@ -293,6 +298,19 @@ double NetworkSimulation::edge_age(const net::Edge& e) const {
   return now() - it->second.up_time;
 }
 
+double NetworkSimulation::max_queue_backlog() const {
+  const net::TrafficModel& m = link_.traffic;
+  if (!m.pipeline_active() || m.bandwidth <= 0.0) return 0.0;
+  const sim::Time t = now();
+  double worst = 0.0;  // residual busy time; max commutes, hash order ok
+  for (const auto& [key, state] : edges_) {
+    (void)key;
+    worst = std::max(worst, state.dir[0].busy_until - t);
+    worst = std::max(worst, state.dir[1].busy_until - t);
+  }
+  return std::max(0.0, worst) * m.bandwidth;
+}
+
 void NetworkSimulation::apply_event(const net::TopologyEvent& ev) {
   ++stats_.topology_events_applied;
   const sim::Time t = now();
@@ -316,7 +334,7 @@ void NetworkSimulation::apply_event(const net::TopologyEvent& ev) {
 void NetworkSimulation::add_edge(const net::Edge& e, sim::Time t,
                                  bool initial) {
   if (edges_.count(edge_key(e))) return;  // redundant add
-  edges_[edge_key(e)] = EdgeState{t, ++next_incarnation_};
+  edges_[edge_key(e)] = EdgeState{t, ++next_incarnation_, {}};
   adjacency_[e.u].push_back(e.v);
   adjacency_[e.v].push_back(e.u);
   const double hw_u = clocks_[e.u].value_at(t);
@@ -338,6 +356,9 @@ void NetworkSimulation::add_edge(const net::Edge& e, sim::Time t,
       flush_outbox();
     }
   }
+  // Background flows ride every edge incarnation, initial ones included;
+  // they stop by themselves when this incarnation dies.
+  start_flows(e, edges_[edge_key(e)].incarnation, t);
 }
 
 void NetworkSimulation::remove_edge(const net::Edge& e, sim::Time t) {
@@ -388,8 +409,17 @@ void NetworkSimulation::send(NodeId from, NodeId to, double value,
   auto it = edges_.find(edge_key(e));
   if (it == edges_.end()) return;
   const std::uint64_t incarnation = it->second.incarnation;
-  double d = delay_.sample(e, rng_);
-  d = std::clamp(d, 1e-12, delay_.bound);  // the model promises delay <= T
+  double d = link_.prop.sample(e, rng_);
+  d = std::clamp(d, 1e-12, link_.prop.bound);  // the model promises delay <= T
+  // Through the link pipeline: queue wait + transmission time on top of
+  // the propagation draw (bit-exactly d when no finite bandwidth is
+  // configured).  Sync messages are never queue-dropped -- their
+  // latency saturates at the bound instead, preserving the delay <= T
+  // assumption the proofs rest on.
+  d = sync_link_delay(it->second, from, to, t, d, stats_.ecn_marks,
+                      stats_.peak_queue_bytes);
+  stats_.sync_delay_sum += d;
+  stats_.sync_delay_max = std::max(stats_.sync_delay_max, d);
   ++stats_.messages_sent;
   if (trace_) {
     recorder_->on_trace(
@@ -492,13 +522,22 @@ void NetworkSimulation::send_sharded(std::size_t ctx, NodeId from, NodeId to,
   auto it = edges_.find(edge_key(e));
   if (it == edges_.end()) return;
   const std::uint64_t incarnation = it->second.incarnation;
-  double d = delay_.sample(e, node_rngs_[from]);
+  double d = link_.prop.sample(e, node_rngs_[from]);
   // The clamp enforces BOTH halves of the delay contract: <= bound (the
   // algorithm's assumption) and >= floor (the lookahead the barrier
   // windows rest on), so a misbehaving sampler cannot smuggle an event
   // into the current window.
-  d = std::clamp(d, delay_.floor, delay_.bound);
+  d = std::clamp(d, link_.prop.floor, link_.prop.bound);
   ShardCounters& counters = shard_counters_[ctx];
+  // The pipeline only ADDS delay above the propagation draw (and the
+  // result clamps to [d, bound]), so the lookahead contract above
+  // survives any traffic model.  Direction state is written from the
+  // sender's context only (this shard, or the coordinator at barriers),
+  // so no lock is needed.
+  d = sync_link_delay(it->second, from, to, t, d, counters.ecn_marks,
+                      counters.peak_queue_bytes);
+  node_sync_delay_[from] += d;
+  counters.sync_delay_max = std::max(counters.sync_delay_max, d);
   ++counters.messages_sent;
   ++counters.delivery_events;  // sharded mode: one event per message
   if (trace_) {
@@ -529,6 +568,83 @@ void NetworkSimulation::deliver_sharded(NodeId from, NodeId to, double value,
   const StoreDelivery d{from, to, value, clocks_[to].value_at(t), t};
   ShardedSink sink(this);
   store_->on_deliveries(&d, 1, sink);
+}
+
+double NetworkSimulation::sync_link_delay(EdgeState& state, NodeId from,
+                                          NodeId to, sim::Time t, double d_prop,
+                                          std::uint64_t& ecn_marks,
+                                          std::uint64_t& peak_queue_bytes) {
+  const net::TrafficModel& m = link_.traffic;
+  // The early return IS the ideal-link degeneration: with no finite
+  // bandwidth the propagation draw passes through untouched, so "off"
+  // and infinite-bandwidth "idle" produce identical bytes (the
+  // link-equivalence matrix holds this door shut).
+  if (!m.pipeline_active() || m.bandwidth <= 0.0) return d_prop;
+  net::LinkDecision dec = net::link_offer(m, state.dir[dir_index(from, to)], t,
+                                          m.sync_bytes, /*droppable=*/false);
+  if (dec.marked) ++ecn_marks;
+  peak_queue_bytes = std::max(
+      peak_queue_bytes, static_cast<std::uint64_t>(dec.backlog_bytes));
+  return std::min(dec.wait + dec.tx + d_prop, link_.prop.bound);
+}
+
+void NetworkSimulation::start_flows(const net::Edge& e,
+                                    std::uint64_t incarnation, sim::Time t) {
+  if (!link_.traffic.has_flows()) return;
+  const double period = link_.traffic.flow_period();
+  const std::uint64_t key = edge_key(e);
+  const NodeId ends[2][2] = {{e.u, e.v}, {e.v, e.u}};
+  for (int i = 0; i < 2; ++i) {
+    const NodeId from = ends[i][0];
+    const NodeId to = ends[i][1];
+    // Stable per-direction phase in (0, 1) periods: staggers flow starts
+    // across links without drawing randomness.
+    const sim::Time first =
+        t + period * net::flow_phase(2 * key + static_cast<std::uint64_t>(i));
+    auto fn = [this, from, to, incarnation] { flow_emit(from, to, incarnation); };
+    if (sharded_) {
+      // add_edge runs at barriers (or in the constructor) with every
+      // shard parked, exactly the context ShardedEngine::at allows.
+      sharded_->at(shard_of_[from], first, std::move(fn));
+    } else {
+      engine_.at(first, std::move(fn));
+    }
+  }
+}
+
+void NetworkSimulation::flow_emit(NodeId from, NodeId to,
+                                  std::uint64_t incarnation) {
+  const net::Edge e(from, to);
+  auto it = edges_.find(edge_key(e));
+  if (it == edges_.end() || it->second.incarnation != incarnation) {
+    return;  // the edge (incarnation) died; the flow dies with it
+  }
+  const sim::Time t =
+      sharded_ ? sharded_->shard_now(shard_of_[from]) : engine_.now();
+  const net::LinkDecision dec =
+      net::link_offer(link_.traffic, it->second.dir[dir_index(from, to)], t,
+                      link_.traffic.flow_bytes(), link_.traffic.flow_droppable());
+  if (sharded_) {
+    ShardCounters& c = shard_counters_[shard_of_[from]];
+    ++c.traffic_packets;
+    if (dec.dropped) ++c.traffic_dropped;
+    if (dec.marked) ++c.ecn_marks;
+    c.peak_queue_bytes = std::max(
+        c.peak_queue_bytes, static_cast<std::uint64_t>(dec.backlog_bytes));
+  } else {
+    ++stats_.traffic_packets;
+    if (dec.dropped) ++stats_.traffic_dropped;
+    if (dec.marked) ++stats_.ecn_marks;
+    stats_.peak_queue_bytes = std::max(
+        stats_.peak_queue_bytes, static_cast<std::uint64_t>(dec.backlog_bytes));
+  }
+  const sim::Time next = t + link_.traffic.flow_period();
+  auto fn = [this, from, to, incarnation] { flow_emit(from, to, incarnation); };
+  if (sharded_) {
+    sharded_->at(shard_of_[from], next, std::move(fn));
+  } else {
+    engine_.at(next, std::move(fn));
+  }
 }
 
 void NetworkSimulation::push_trace(std::size_t ctx, NodeId node,
@@ -576,6 +692,11 @@ void NetworkSimulation::compose_run_stats() const {
   stats_.delivery_events = 0;
   stats_.jumps = 0;
   stats_.conformance_monotonicity_failures = 0;
+  stats_.traffic_packets = 0;
+  stats_.traffic_dropped = 0;
+  stats_.ecn_marks = 0;
+  stats_.peak_queue_bytes = 0;
+  stats_.sync_delay_max = 0.0;
   for (const ShardCounters& c : shard_counters_) {
     stats_.messages_sent += c.messages_sent;
     stats_.messages_delivered += c.messages_delivered;
@@ -583,9 +704,21 @@ void NetworkSimulation::compose_run_stats() const {
     stats_.delivery_events += c.delivery_events;
     stats_.jumps += c.jumps;
     stats_.conformance_monotonicity_failures += c.monotonicity_failures;
+    stats_.traffic_packets += c.traffic_packets;
+    stats_.traffic_dropped += c.traffic_dropped;
+    stats_.ecn_marks += c.ecn_marks;
+    // max folds commute, so these two stay K-invariant without any
+    // per-node bookkeeping.
+    stats_.peak_queue_bytes = std::max(stats_.peak_queue_bytes,
+                                       c.peak_queue_bytes);
+    stats_.sync_delay_max = std::max(stats_.sync_delay_max, c.sync_delay_max);
   }
   stats_.total_jump = 0.0;
   for (const double jump : node_jump_) stats_.total_jump += jump;
+  // Like total_jump: per-sender sums folded in node order keep the float
+  // addition order -- and the serialized double -- shard-count-invariant.
+  stats_.sync_delay_sum = 0.0;
+  for (const double d : node_sync_delay_) stats_.sync_delay_sum += d;
   // Per-delivery envelope checks are barrier-audited in sharded mode
   // (see ShardedSink::after); these stay zero for every shard count.
   stats_.conformance_checks = 0;

@@ -1,11 +1,23 @@
 // gcs::core -- NetworkSimulation: the glue layer.
 //
 // Owns the event engine, one hardware clock and one NodeAutomaton per
-// node, the live edge set, and the delay model, and turns a DynamicGraph
+// node, the live edge set, and the link model (traffic pipeline +
+// propagation delay; see net/link.hpp), and turns a DynamicGraph
 // schedule into edge-up/edge-down callbacks, periodic per-node broadcasts
-// (every delta_h of HARDWARE time), and message deliveries.  Everything
-// observable (skew, clocks, stats) is queryable from outside, which is
-// what the harness and the benches build on.
+// (every delta_h of HARDWARE time), background-flow emissions, and
+// message deliveries.  Everything observable (skew, clocks, stats) is
+// queryable from outside, which is what the harness and the benches
+// build on.
+//
+// Sharded lookahead under traffic: the conservative barrier window is
+// derived from the PROPAGATION floor alone (LinkModel::prop.floor).
+// The pipeline only ever adds non-negative wait/tx on top of the
+// propagation draw, so every delivery satisfies
+//   total delay >= propagation >= floor
+// and the ShardedEngine's t >= barrier merge contract holds for any
+// traffic model -- queueing can never smuggle an event into the current
+// window.  (The total is still clamped above to prop.bound, which keeps
+// bound >= total >= floor; test_link.cpp pins both halves.)
 //
 // With SimOptions::check_conformance set, the simulator audits the run as
 // it goes: after every delivery it checks the delivered edge's skew
@@ -29,8 +41,8 @@
 #include "core/node_automaton.hpp"
 #include "core/node_store.hpp"
 #include "core/params.hpp"
-#include "net/delay.hpp"
 #include "net/dynamic_graph.hpp"
+#include "net/link.hpp"
 #include "obs/recorder.hpp"
 #include "sim/engine.hpp"
 #include "sim/sharded_engine.hpp"
@@ -107,6 +119,20 @@ struct RunStats {
   // gcs_diff ignores both like wall_ms).
   std::uint64_t arena_bytes = 0;
   std::uint64_t peak_rss_kb = 0;
+  // Link-layer traffic pipeline (schema v6).  Background load offered to
+  // the per-direction FIFOs, what the bounded queue did to it, and the
+  // sync messages' end-to-end latency.  sync_delay_* record wait + tx +
+  // propagation for EVERY sync send (traffic off included, where they
+  // reduce to the propagation draw -- that identity is part of what the
+  // link-equivalence matrix byte-compares); the sum folds in node order
+  // in sharded mode so the serialized double is K-invariant.  The other
+  // four are zero unless a finite-bandwidth pipeline is configured.
+  std::uint64_t traffic_packets = 0;   // background packets offered
+  std::uint64_t traffic_dropped = 0;   // dropped at a full bounded queue
+  std::uint64_t ecn_marks = 0;         // arrival backlog > mark threshold
+  std::uint64_t peak_queue_bytes = 0;  // max backlog seen by any offer
+  double sync_delay_sum = 0.0;
+  double sync_delay_max = 0.0;
 };
 
 class NetworkSimulation {
@@ -116,8 +142,11 @@ class NetworkSimulation {
 
   // Adapter-store constructor: one virtual NodeAutomaton per node from
   // `factory` (custom protocol variants, weighted tolerances, benches).
+  // The LinkModel is implicitly constructible from a bare DelayModel
+  // (an ideal link with no traffic pipeline), so the pre-pipeline call
+  // sites read -- and behave -- exactly as before.
   NetworkSimulation(const SyncParams& params, net::DynamicGraph graph,
-                    net::DelayModel delay,
+                    net::LinkModel link,
                     std::vector<clk::RateSchedule> schedules,
                     NodeFactory factory, SimOptions options = SimOptions{});
 
@@ -126,7 +155,7 @@ class NetworkSimulation {
   // to the adapter store running DcsaNode (the equivalence matrix
   // enforces it); only RunStats::arena_bytes differs.
   NetworkSimulation(const SyncParams& params, net::DynamicGraph graph,
-                    net::DelayModel delay,
+                    net::LinkModel link,
                     std::vector<clk::RateSchedule> schedules,
                     SimOptions options = SimOptions{});
 
@@ -154,6 +183,12 @@ class NetworkSimulation {
   std::vector<net::Edge> current_edges() const;
   // Real-time age of a live edge; negative if the edge is not present.
   double edge_age(const net::Edge& e) const;
+  // Instantaneous worst queue backlog (bytes) over all live link
+  // directions -- the per-interval queue-depth gauge.  Max commutes, so
+  // the hash-order edge walk is deterministic; 0.0 whenever no
+  // finite-bandwidth pipeline is configured.  Safe at barriers/sample
+  // times only (like the other whole-network accessors).
+  double max_queue_backlog() const;
 
   // In sharded mode this is the last barrier time; shard-side callbacks
   // never call back into these accessors mid-window (the sampler and
@@ -200,6 +235,12 @@ class NetworkSimulation {
   struct EdgeState {
     sim::Time up_time = 0.0;
     std::uint64_t incarnation = 0;
+    // Per-direction FIFO state; dir[0] carries u -> v (u <= v after
+    // Edge normalization), dir[1] the reverse.  Each direction is
+    // written only from its sender's execution context (broadcasts and
+    // flow emissions on the sender's shard, discovery exchanges at
+    // barriers), so sharded access is race-free by ownership.
+    net::LinkDir dir[2];
   };
   struct Delivery {
     NodeId from;
@@ -217,6 +258,8 @@ class NetworkSimulation {
   static std::uint64_t edge_key(const net::Edge& e) {
     return (static_cast<std::uint64_t>(e.u) << 32) | e.v;
   }
+  // Which EdgeState::dir slot carries from -> to traffic.
+  static int dir_index(NodeId from, NodeId to) { return from < to ? 0 : 1; }
 
   void apply_event(const net::TopologyEvent& ev);
   void add_edge(const net::Edge& e, sim::Time t, bool initial);
@@ -243,13 +286,31 @@ class NetworkSimulation {
                     sim::Time t);
   void deliver_sharded(NodeId from, NodeId to, double value,
                        std::uint64_t incarnation);
+  // Background-flow machinery (TrafficModel::has_flows()): start_flows
+  // schedules the first emission for both directions of a fresh edge
+  // (constructor or barrier context); flow_emit offers one packet/burst
+  // to its direction's FIFO and reschedules itself on the sender's
+  // shard until the edge incarnation dies.  Flows draw no randomness --
+  // the phase is a pure function of the edge key -- so they cannot
+  // shift a single propagation draw.
+  void start_flows(const net::Edge& e, std::uint64_t incarnation, sim::Time t);
+  void flow_emit(NodeId from, NodeId to, std::uint64_t incarnation);
+  // Shared per-send pipeline step: offers sync_bytes to the from -> to
+  // FIFO, folds the traffic counters into `counters` (a shard slot or
+  // the classic stats), and returns the total delay (wait + tx + the
+  // already-clamped propagation draw `d_prop`), clamped above to the
+  // propagation bound.  With no finite-bandwidth pipeline the result
+  // is bit-exactly d_prop.
+  double sync_link_delay(EdgeState& state, NodeId from, NodeId to, sim::Time t,
+                         double d_prop, std::uint64_t& ecn_marks,
+                         std::uint64_t& peak_queue_bytes);
   void push_trace(std::size_t ctx, NodeId node, const obs::TraceEvent& ev);
   void flush_sharded_trace();
   void compose_run_stats() const;
 
   SyncParams params_;
   BFunction bfunc_;
-  net::DelayModel delay_;
+  net::LinkModel link_;
   SimOptions options_;
   // Cached from options_.recorder: emission sites test one bool (and
   // trace_ already folds in wants_trace(), so a series-only recorder
@@ -285,12 +346,24 @@ class NetworkSimulation {
     std::uint64_t delivery_events = 0;
     std::uint64_t jumps = 0;
     std::uint64_t monotonicity_failures = 0;
+    // Traffic pipeline counters.  Sums fold shard-order-independently;
+    // the two maxima fold with max, which commutes, so every fold below
+    // is K-invariant.
+    std::uint64_t traffic_packets = 0;
+    std::uint64_t traffic_dropped = 0;
+    std::uint64_t ecn_marks = 0;
+    std::uint64_t peak_queue_bytes = 0;
+    double sync_delay_max = 0.0;
   };
   std::vector<ShardCounters> shard_counters_;
   // Jump magnitudes accumulate per node and fold in node order, so the
   // float addition order -- and hence the serialized total -- is the
   // same for every shard count.
   std::vector<double> node_jump_;
+  // Sync-message total delays accumulate per SENDER and fold in node
+  // order, for the same K-invariance reason (a node's sends happen on
+  // its own shard or at barriers, never concurrently).
+  std::vector<double> node_sync_delay_;
   // Recorder passthrough: on_trace calls must arrive in a K-invariant
   // order (TelemetryRecorder's decimation is order-sensitive), but
   // shards emit concurrently.  Each context buffers its records tagged

@@ -8,7 +8,7 @@
 #include <vector>
 
 #include "core/dcsa_node.hpp"
-#include "net/delay.hpp"
+#include "net/link.hpp"
 #include "net/topology.hpp"
 
 namespace gcs::harness {
@@ -89,6 +89,14 @@ net::DelayModel build_delay(const ExperimentConfig& cfg) {
                               "'");
 }
 
+net::LinkModel build_link(const ExperimentConfig& cfg) {
+  try {
+    return net::LinkModel(build_delay(cfg), net::parse_traffic(cfg.traffic));
+  } catch (const std::invalid_argument& e) {
+    throw std::invalid_argument(std::string("run_experiment: ") + e.what());
+  }
+}
+
 sim::EnginePolicy parse_engine(const std::string& engine) {
   if (engine == "calendar") return sim::EnginePolicy::kCalendar;
   if (engine == "heap") return sim::EnginePolicy::kHeap;
@@ -131,11 +139,11 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg,
   std::unique_ptr<core::NetworkSimulation> sim_ptr;
   if (cfg.store == "columns") {
     sim_ptr = std::make_unique<core::NetworkSimulation>(
-        p, scenario.to_dynamic_graph(), build_delay(cfg), build_schedules(cfg),
+        p, scenario.to_dynamic_graph(), build_link(cfg), build_schedules(cfg),
         options);
   } else if (cfg.store == "adapter") {
     sim_ptr = std::make_unique<core::NetworkSimulation>(
-        p, scenario.to_dynamic_graph(), build_delay(cfg), build_schedules(cfg),
+        p, scenario.to_dynamic_graph(), build_link(cfg), build_schedules(cfg),
         [&p](core::NodeId) { return std::make_unique<core::DcsaNode>(p); },
         options);
   } else {
@@ -194,6 +202,7 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg,
     sample.in_flight =
         s.messages_sent - s.messages_delivered - s.messages_dropped;
     sample.engine_pending = sim.engine_pending();
+    sample.queue_bytes = sim.max_queue_backlog();
     series.add(sample);
     if (recorder != nullptr) recorder->on_sample(sample);
   });

@@ -68,6 +68,14 @@ struct ExperimentConfig {
   // byte-identical between the two (the store-equivalence matrix proves
   // it); only run_stats.arena_bytes differs, which gcs_diff ignores.
   std::string store = "columns";
+  // Link-layer traffic model: "off" (ideal link, the legacy path) or a
+  // net::parse_traffic spec -- "idle[:bw=...[:queue=...][:mark=...]]",
+  // "cbr:bw=...:rate=...[:pkt=...][:queue=...][:mark=...]",
+  // "bulk:bw=...:bytes=...:interval=...".  "off" and infinite-bandwidth
+  // "idle" are byte-identical (the link-equivalence matrix proves it);
+  // finite-bandwidth models queue sync messages behind background load
+  // and light up the schema-v6 traffic counters.
+  std::string traffic = "off";
 
   // Samples fire at sample_dt, 2*sample_dt, ...; the engine executes
   // events with t <= horizon under BOTH scheduler policies, so a sample

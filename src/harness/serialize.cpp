@@ -48,6 +48,12 @@ util::json::Value to_json(const core::RunStats& stats) {
       stats.connectivity_windows_disconnected;
   v["arena_bytes"] = stats.arena_bytes;
   v["peak_rss_kb"] = stats.peak_rss_kb;
+  v["traffic_packets"] = stats.traffic_packets;
+  v["traffic_dropped"] = stats.traffic_dropped;
+  v["ecn_marks"] = stats.ecn_marks;
+  v["peak_queue_bytes"] = stats.peak_queue_bytes;
+  v["sync_delay_sum"] = stats.sync_delay_sum;
+  v["sync_delay_max"] = stats.sync_delay_max;
   return v;
 }
 
@@ -73,6 +79,12 @@ core::RunStats run_stats_from_json(const util::json::Value& doc) {
       req_u64(doc, "connectivity_windows_disconnected");
   stats.arena_bytes = req_u64(doc, "arena_bytes");
   stats.peak_rss_kb = req_u64(doc, "peak_rss_kb");
+  stats.traffic_packets = req_u64(doc, "traffic_packets");
+  stats.traffic_dropped = req_u64(doc, "traffic_dropped");
+  stats.ecn_marks = req_u64(doc, "ecn_marks");
+  stats.peak_queue_bytes = req_u64(doc, "peak_queue_bytes");
+  stats.sync_delay_sum = req_num(doc, "sync_delay_sum");
+  stats.sync_delay_max = req_num(doc, "sync_delay_max");
   return stats;
 }
 
@@ -106,6 +118,7 @@ util::json::Value to_json(const obs::SeriesSummary& series) {
   v["peak_live_edges"] = series.peak_live_edges;
   v["peak_in_flight"] = series.peak_in_flight;
   v["peak_engine_pending"] = series.peak_engine_pending;
+  v["peak_queue_bytes"] = series.peak_queue_bytes;
   return v;
 }
 
@@ -117,6 +130,7 @@ obs::SeriesSummary series_summary_from_json(const util::json::Value& doc) {
   series.peak_live_edges = req_u64(doc, "peak_live_edges");
   series.peak_in_flight = req_u64(doc, "peak_in_flight");
   series.peak_engine_pending = req_u64(doc, "peak_engine_pending");
+  series.peak_queue_bytes = req_num(doc, "peak_queue_bytes");
   return series;
 }
 
@@ -179,6 +193,7 @@ util::json::Value config_to_json(const ExperimentConfig& config) {
   v["delivery"] = config.delivery;
   v["shards"] = config.shards;
   v["store"] = config.store;
+  v["traffic"] = config.traffic;
   v["horizon"] = config.horizon;
   v["sample_dt"] = config.sample_dt;
   v["seed"] = config.seed;
@@ -189,7 +204,7 @@ ExperimentConfig config_from_json(const util::json::Value& doc) {
   static const std::set<std::string> kKnown = {
       "name",   "n",     "rho",      "T",         "D",    "delta_h",
       "B0",     "topology", "drift", "delay",     "engine", "delivery",
-      "shards", "store", "horizon", "sample_dt", "seed"};
+      "shards", "store", "traffic", "horizon", "sample_dt", "seed"};
   for (const auto& [key, value] : doc.as_object()) {
     (void)value;
     if (kKnown.count(key) == 0) {
@@ -215,6 +230,7 @@ ExperimentConfig config_from_json(const util::json::Value& doc) {
   if (const auto* v = doc.find("delivery")) config.delivery = v->as_string();
   if (const auto* v = doc.find("shards")) config.shards = v->as_u64();
   if (const auto* v = doc.find("store")) config.store = v->as_string();
+  if (const auto* v = doc.find("traffic")) config.traffic = v->as_string();
   if (const auto* v = doc.find("horizon")) config.horizon = v->as_number();
   if (const auto* v = doc.find("sample_dt")) config.sample_dt = v->as_number();
   if (const auto* v = doc.find("seed")) config.seed = v->as_u64();

@@ -43,7 +43,12 @@ namespace gcs::harness {
 //        RSS, runner-filled, 0 under --fixed-timing).  gcs_diff ignores
 //        both counters like wall_ms -- they describe the machine, not
 //        the trajectory.
-inline constexpr int kResultSchemaVersion = 5;
+//   6 -- link-layer traffic pipeline: config echo gains "traffic" (the
+//        model spec, "off" by default); run_stats gains traffic_packets /
+//        traffic_dropped / ecn_marks / peak_queue_bytes plus the
+//        sync-latency pair sync_delay_sum / sync_delay_max; the series
+//        summary gains peak_queue_bytes (sample-time backlog gauge).
+inline constexpr int kResultSchemaVersion = 6;
 
 util::json::Value to_json(const core::RunStats& stats);
 core::RunStats run_stats_from_json(const util::json::Value& doc);

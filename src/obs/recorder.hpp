@@ -63,6 +63,10 @@ struct SeriesSample {
   std::uint64_t live_edges = 0;
   std::uint64_t in_flight = 0;       // sent - delivered - dropped
   std::uint64_t engine_pending = 0;  // events queued in the engine
+  // Worst link-direction queue backlog (bytes) at the sample instant
+  // (schema v6); exactly 0.0 without a finite-bandwidth traffic
+  // pipeline, so traffic-off series bytes are unchanged.
+  double queue_bytes = 0.0;
 };
 
 // Whole-run digest of the series, carried in every ExperimentResult
@@ -76,6 +80,7 @@ struct SeriesSummary {
   std::uint64_t peak_live_edges = 0;
   std::uint64_t peak_in_flight = 0;
   std::uint64_t peak_engine_pending = 0;
+  double peak_queue_bytes = 0.0;  // max sample-time backlog (schema v6)
 };
 
 // The probe interface.  Emission sites hold a Recorder* that is null by
@@ -168,6 +173,8 @@ class SeriesAggregator {
     summary_.peak_in_flight = std::max(summary_.peak_in_flight, s.in_flight);
     summary_.peak_engine_pending =
         std::max(summary_.peak_engine_pending, s.engine_pending);
+    summary_.peak_queue_bytes =
+        std::max(summary_.peak_queue_bytes, s.queue_bytes);
   }
   SeriesSummary summary() const {
     SeriesSummary out = summary_;

@@ -57,7 +57,7 @@ void TelemetryRecorder::stream_series_to(std::ostream& sink) {
 
 const char* TelemetryRecorder::series_csv_header() {
   return "t,global_skew,max_local_skew,max_envelope_ratio,live_edges,"
-         "in_flight,engine_pending\n";
+         "in_flight,engine_pending,queue_bytes\n";
 }
 
 std::string TelemetryRecorder::series_row(const SeriesSample& s) {
@@ -75,6 +75,8 @@ std::string TelemetryRecorder::series_row(const SeriesSample& s) {
   out += std::to_string(s.in_flight);
   out += ',';
   out += std::to_string(s.engine_pending);
+  out += ',';
+  out += json::dump_number(s.queue_bytes);
   out += '\n';
   return out;
 }

@@ -11,7 +11,7 @@
 # consumers pin, so changing a column must fail this test until the test
 # (and harness::kResultSchemaVersion) are updated deliberately.
 set(EXPECTED_HEADER
-  "campaign,cell,n,workload,drift,delay,engine,delivery,seed,horizon,sample_dt,samples,max_global_skew,global_skew_bound,global_margin,max_local_skew,local_skew_floor,global_violations,envelope_violations,monotonicity_failures,messages_sent,messages_delivered,messages_dropped,delivery_events,events_executed,clamped_events,wall_ms,events_per_sec")
+  "campaign,cell,n,workload,drift,delay,traffic,engine,delivery,seed,horizon,sample_dt,samples,max_global_skew,global_skew_bound,global_margin,max_local_skew,local_skew_floor,global_violations,envelope_violations,monotonicity_failures,messages_sent,messages_delivered,messages_dropped,delivery_events,traffic_packets,traffic_dropped,ecn_marks,peak_queue_bytes,sync_delay_sum,sync_delay_max,events_executed,clamped_events,wall_ms,events_per_sec")
 
 if(NOT GCS_RUN OR NOT EXISTS "${GCS_RUN}")
   message(FATAL_ERROR "gcs_run binary not found: '${GCS_RUN}'")

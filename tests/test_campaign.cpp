@@ -49,6 +49,37 @@ TEST(Campaign, ExpandsCrossProductInCanonicalOrder) {
   EXPECT_EQ(campaign.cells[11].label, "011-n16-complete-s3");
   EXPECT_EQ(campaign.cells[11].config.params.n, 16u);
   EXPECT_EQ(campaign.cells[11].config.seed, 3u);
+
+  // The axis metadata --list prints: canonical order, pinned defaults
+  // contribute cardinality 1, and the product is the cell count.
+  ASSERT_EQ(campaign.axes.size(), 5u);
+  EXPECT_EQ(campaign.axes[0].key, "n");
+  EXPECT_EQ(campaign.axes[0].cardinality, 2u);
+  EXPECT_EQ(campaign.axes[1].key, "topology");
+  EXPECT_EQ(campaign.axes[1].cardinality, 2u);
+  EXPECT_EQ(campaign.axes[2].key, "rho");
+  EXPECT_EQ(campaign.axes[2].cardinality, 1u);
+  EXPECT_EQ(campaign.axes[3].key, "horizon");
+  EXPECT_EQ(campaign.axes[3].cardinality, 1u);
+  EXPECT_EQ(campaign.axes[4].key, "seed");
+  EXPECT_EQ(campaign.axes[4].cardinality, 3u);
+  std::size_t product = 1;
+  for (const cli::AxisInfo& axis : campaign.axes) product *= axis.cardinality;
+  EXPECT_EQ(product, campaign.cells.size());
+}
+
+TEST(Campaign, TrafficAxisSweepsAndValidatesSpecs) {
+  const cli::Campaign campaign = from_text(R"({
+    "name": "load",
+    "defaults": {"n": 8, "delay": "constant:0.5"},
+    "sweep": {"traffic": ["off", "cbr:bw=4000:rate=10"]}
+  })");
+  ASSERT_EQ(campaign.cells.size(), 2u);
+  EXPECT_EQ(campaign.cells[0].config.traffic, "off");
+  EXPECT_EQ(campaign.cells[1].config.traffic, "cbr:bw=4000:rate=10");
+  // The traffic axis sits between delay and engine in label order, and
+  // the spec's ':'/'=' sanitize to '-' in the label part.
+  EXPECT_EQ(campaign.cells[1].label, "001-cbr-bw-4000-rate-10");
 }
 
 TEST(Campaign, SeedListAndUnsweptAxesKeepDefaults) {

@@ -225,6 +225,153 @@ TEST(DcsaColumns, SlotArenaGrowsAndShrinks) {
   EXPECT_EQ(cols.logical_clock(0, 2.0), 100.0);
 }
 
+// Adversarial grow/shrink churn on one segment: estimates set before a
+// cap-doubling relocation must ride along to the new region bit-exact,
+// swap-removes at the head/middle/tail of the segment must not corrupt
+// survivors, and reclaimed slots must come back clean -- all mirrored
+// delivery-for-delivery against the adapter-store automaton.
+TEST(DcsaColumns, AdversarialChurnKeepsRelocatedSegmentsBitExact) {
+  const auto p = small_params(64);
+  gcs::core::DcsaNode node(p);
+  gcs::core::DcsaColumns cols(p, 64);
+  node.start(at(0, 0.0));
+  for (gcs::core::NodeId u = 0; u < 64; ++u) cols.start(at(u, 0.0));
+
+  JumpSink sink;
+  double hw = 0.25;
+  auto deliver = [&](gcs::core::NodeId from, double value) {
+    gcs::core::StoreDelivery d;
+    d.from = from;
+    d.to = 0;
+    d.value = value;
+    d.hw_now = hw;
+    d.now = hw;
+    node.on_message(at(0, hw), from, value);
+    const double want = node.step(at(0, hw));
+    sink.jumps.clear();
+    cols.on_deliveries(&d, 1, sink);
+    ASSERT_EQ(sink.jumps.size(), 1u);
+    EXPECT_EQ(sink.jumps[0], want) << "from " << from << " at hw " << hw;
+    EXPECT_EQ(cols.logical_clock(0, hw), node.logical_clock(hw));
+    EXPECT_EQ(cols.fast_mode(0), node.fast_mode());
+    hw += 0.375;
+  };
+  auto up = [&](gcs::core::NodeId peer) {
+    node.on_edge_up(at(0, hw), peer);
+    cols.edge_up(at(0, hw), peer);
+  };
+  auto down = [&](gcs::core::NodeId peer) {
+    node.on_edge_down(at(0, hw), peer);
+    cols.edge_down(at(0, hw), peer);
+  };
+
+  // Grow through three relocations (cap 4 -> 8 -> 16 -> 32), delivering
+  // after every edge so each relocation carries live estimates.
+  for (gcs::core::NodeId peer = 1; peer <= 20; ++peer) {
+    up(peer);
+    deliver(peer, 3.0 * peer + 0.125);
+  }
+  EXPECT_EQ(cols.live_slots(), 20u);
+
+  // Swap-remove the segment's first, middle, and last slot, then hear
+  // from every survivor (a stale or mis-copied slot diverges instantly).
+  down(1);
+  down(10);
+  down(20);
+  EXPECT_EQ(cols.live_slots(), 17u);
+  for (gcs::core::NodeId peer = 2; peer <= 19; ++peer) {
+    if (peer == 10) continue;
+    deliver(peer, 100.0 + peer);
+  }
+  // A message from a removed peer updates nothing (but still steps).
+  deliver(1, 1e6);
+
+  // Reclaim the freed slots and push through one more relocation.
+  for (gcs::core::NodeId peer : {1u, 10u, 20u}) {
+    up(peer);
+    deliver(peer, 200.0 + peer);
+  }
+  for (gcs::core::NodeId peer = 21; peer <= 40; ++peer) {
+    up(peer);
+    deliver(peer, 50.0 + peer);
+  }
+  EXPECT_EQ(cols.live_slots(), 40u);
+}
+
+// The hole-threshold compaction must actually fire under churn -- the
+// seed's "half the arena" threshold was unreachable (doubling growth
+// leaves c-4 holes against 2c-4 allocated slots per segment, strictly
+// under one half forever) -- and a fired compaction must preserve every
+// segment: estimates recorded before the rebuild still drive jumps
+// bit-identical to adapter-store automatons after it.
+TEST(DcsaColumns, HoleCompactionFiresAndPreservesSegments) {
+  const std::size_t n = 600;
+  const auto p = small_params(n);
+  gcs::core::DcsaColumns cols(p, n);
+  std::vector<gcs::core::DcsaNode> nodes(n, gcs::core::DcsaNode(p));
+  for (gcs::core::NodeId u = 0; u < n; ++u) {
+    nodes[u].start(at(u, 0.0));
+    cols.start(at(u, 0.0));
+  }
+
+  // Degree 9 everywhere: two relocations per node (cap 4 -> 8 -> 16),
+  // 12 holes a node, so holes cross the 4096 absolute floor and a
+  // quarter of the arena a bit past node 340.  arena_bytes() shrinking
+  // across an edge_up is the compaction firing.
+  JumpSink sink;
+  std::size_t compactions = 0;
+  std::size_t prev_bytes = cols.arena_bytes();
+  for (gcs::core::NodeId u = 0; u < n; ++u) {
+    for (gcs::core::NodeId k = 1; k <= 9; ++k) {
+      const gcs::core::NodeId peer = (u + k) % n;
+      nodes[u].on_edge_up(at(u, 0.0), peer);
+      cols.edge_up(at(u, 0.0), peer);
+      if (cols.arena_bytes() < prev_bytes) ++compactions;
+      prev_bytes = cols.arena_bytes();
+      if (k == 5) {  // a mid-growth estimate the rebuild must carry
+        gcs::core::StoreDelivery d;
+        d.from = peer;
+        d.to = u;
+        d.value = 0.5 + 0.001 * u;
+        d.hw_now = 0.5;
+        d.now = 0.5;
+        nodes[u].on_message(at(u, 0.5), peer, d.value);
+        const double want = nodes[u].step(at(u, 0.5));
+        sink.jumps.clear();
+        cols.on_deliveries(&d, 1, sink);
+        ASSERT_EQ(sink.jumps.at(0), want) << "node " << u;
+      }
+    }
+  }
+  EXPECT_GE(compactions, 1u);
+  EXPECT_EQ(cols.live_slots(), n * 9u);
+
+  // Segments on both sides of the compaction point still mirror the
+  // adapter automatons exactly, pre-rebuild estimates included.
+  double hw = 1.0;
+  for (gcs::core::NodeId u : {0u, 200u, 341u, 342u, 599u}) {
+    gcs::core::StoreDelivery d;
+    d.from = (u + 3) % n;
+    d.to = u;
+    d.value = 500.0 + u;
+    d.hw_now = hw;
+    d.now = hw;
+    nodes[u].on_message(at(u, hw), d.from, d.value);
+    const double want = nodes[u].step(at(u, hw));
+    sink.jumps.clear();
+    cols.on_deliveries(&d, 1, sink);
+    ASSERT_EQ(sink.jumps.at(0), want) << "node " << u;
+    EXPECT_EQ(cols.logical_clock(u, hw), nodes[u].logical_clock(hw));
+    hw += 0.5;
+  }
+
+  // edge_down still finds every relocated-and-rebuilt slot.
+  for (gcs::core::NodeId u = 0; u < n; ++u) {
+    cols.edge_down(at(u, 2.0), (u + 1) % n);
+  }
+  EXPECT_EQ(cols.live_slots(), n * 8u);
+}
+
 // End-to-end store equivalence at the simulation layer: the columns
 // store and the per-node adapter must produce bit-identical clocks and
 // identical statistics on the same dynamic run.

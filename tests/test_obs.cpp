@@ -61,6 +61,7 @@ TEST(SeriesAggregator, SummaryMatchesHandFold) {
   b.live_edges = 5;
   b.in_flight = 2;
   b.engine_pending = 20;
+  b.queue_bytes = 1500.0;
   agg.add(a);
   agg.add(b);
   const obs::SeriesSummary s = agg.summary();
@@ -70,6 +71,7 @@ TEST(SeriesAggregator, SummaryMatchesHandFold) {
   EXPECT_EQ(s.peak_live_edges, 5u);
   EXPECT_EQ(s.peak_in_flight, 10u);
   EXPECT_EQ(s.peak_engine_pending, 20u);
+  EXPECT_EQ(s.peak_queue_bytes, 1500.0);
 }
 
 obs::TraceEvent event_at(std::uint64_t i) {
@@ -141,11 +143,12 @@ TEST(TelemetryRecorder, SeriesCsvIsHeaderPlusOneRowPerSample) {
   s.live_edges = 4;
   s.in_flight = 2;
   s.engine_pending = 9;
+  s.queue_bytes = 750.0;
   recorder.on_sample(s);
   EXPECT_EQ(recorder.series_csv(),
             "t,global_skew,max_local_skew,max_envelope_ratio,live_edges,"
-            "in_flight,engine_pending\n"
-            "1.5,0.25,0.125,0.5,4,2,9\n");
+            "in_flight,engine_pending,queue_bytes\n"
+            "1.5,0.25,0.125,0.5,4,2,9,750\n");
 }
 
 harness::ExperimentConfig small_config() {
@@ -199,6 +202,7 @@ TEST(TelemetryRecorder, SeriesSamplesMatchResultSummary) {
   EXPECT_EQ(folded.peak_live_edges, result.series.peak_live_edges);
   EXPECT_EQ(folded.peak_in_flight, result.series.peak_in_flight);
   EXPECT_EQ(folded.peak_engine_pending, result.series.peak_engine_pending);
+  EXPECT_EQ(folded.peak_queue_bytes, result.series.peak_queue_bytes);
 }
 
 TEST(TraceEvents, KindNamesAreStableStrings) {

@@ -100,6 +100,34 @@ TEST(Serialize, RejectsSchemaDrift) {
   json::Value no_rss = harness::to_json(run_small());
   no_rss["run_stats"].as_object().erase("peak_rss_kb");
   EXPECT_THROW(harness::result_from_json(no_rss), json::Error);
+
+  // The v6 traffic counters and the series queue gauge are required too:
+  // a v6 reader must reject a writer that silently lost them.
+  for (const char* field : {"traffic_packets", "traffic_dropped", "ecn_marks",
+                            "peak_queue_bytes", "sync_delay_sum",
+                            "sync_delay_max"}) {
+    json::Value no_traffic = harness::to_json(run_small());
+    no_traffic["run_stats"].as_object().erase(field);
+    EXPECT_THROW(harness::result_from_json(no_traffic), json::Error) << field;
+  }
+  json::Value no_queue_gauge = harness::to_json(run_small());
+  no_queue_gauge["series"].as_object().erase("peak_queue_bytes");
+  EXPECT_THROW(harness::result_from_json(no_queue_gauge), json::Error);
+}
+
+TEST(Serialize, V6TrafficCountersTravel) {
+  const harness::ExperimentResult result = run_small();
+  const harness::ExperimentResult back = harness::result_from_json(
+      json::parse(json::dump(harness::to_json(result))));
+  // run_small has no traffic configured: the pipeline counters are zero,
+  // but the sync-latency pair is recorded unconditionally.
+  EXPECT_EQ(back.run_stats.traffic_packets, 0u);
+  EXPECT_EQ(back.run_stats.peak_queue_bytes, 0u);
+  EXPECT_GT(result.run_stats.sync_delay_sum, 0.0);
+  EXPECT_EQ(back.run_stats.sync_delay_sum, result.run_stats.sync_delay_sum);
+  EXPECT_EQ(back.run_stats.sync_delay_max, result.run_stats.sync_delay_max);
+  EXPECT_EQ(back.series.peak_queue_bytes, result.series.peak_queue_bytes);
+  EXPECT_EQ(back.series.peak_queue_bytes, 0.0);
 }
 
 TEST(Serialize, V5MemoryCountersTravel) {
@@ -152,6 +180,7 @@ TEST(Serialize, ConfigRoundTrip) {
   cfg.engine = "heap";
   cfg.delivery = "per-receiver";
   cfg.store = "adapter";
+  cfg.traffic = "cbr:bw=4000:rate=10";
   cfg.horizon = 75.0;
   cfg.sample_dt = 0.25;
   cfg.seed = 99;
@@ -163,6 +192,7 @@ TEST(Serialize, ConfigRoundTrip) {
   EXPECT_EQ(back.params.n, 12u);
   EXPECT_EQ(back.delay, "constant:0.25");
   EXPECT_EQ(back.store, "adapter");
+  EXPECT_EQ(back.traffic, "cbr:bw=4000:rate=10");
   EXPECT_EQ(back.seed, 99u);
 }
 
@@ -174,6 +204,7 @@ TEST(Serialize, ConfigReaderDefaultsMissingAndRejectsUnknownKeys) {
   EXPECT_EQ(sparse.topology, "path");  // ExperimentConfig default
   EXPECT_EQ(sparse.engine, "calendar");
   EXPECT_EQ(sparse.store, "columns");
+  EXPECT_EQ(sparse.traffic, "off");
 
   EXPECT_THROW(
       harness::config_from_json(json::parse(R"({"topologyy": "ring"})")),

@@ -2,13 +2,16 @@
 //
 //   gcs_report results/churn
 //   gcs_report results/ablation --frontier
+//   gcs_report results/contention --contention
 //   gcs_report results/mobility_matrix --top 10 -o report.txt
 //
 // Reads every cells/*.json document and prints how close each cell sailed
 // to the analytic skew bound: per-cell observed/bound ratios, the top-k
 // tightest cells, per-axis aggregation across the sweep, a ratio
-// histogram, and (with --frontier) the skew-vs-message-cost frontier for
-// delta_h / B0 ablations.  Output is deterministic: the same tree always
+// histogram, (with --frontier) the skew-vs-message-cost frontier for
+// delta_h / B0 ablations, and (with --contention) the observed-skew-vs-
+// offered-load table grouped by traffic spec.  Output is deterministic:
+// the same tree always
 // produces the same bytes, so CI can self-check the report by running it
 // twice.  Exit codes: 0 success, 1 cells skipped for schema drift, 2 bad
 // usage or unusable tree.
@@ -29,6 +32,8 @@ options:
   --top K      rows in the "tightest cells" section (default 5)
   --frontier   add the skew-vs-message-cost frontier section (sorts cells
                by messages sent; pairs with campaigns/ablation.json)
+  --contention add the observed-skew-vs-offered-load section (groups cells
+               by traffic spec; pairs with campaigns/contention.json)
   -o FILE      write the report to FILE instead of stdout
   --help       this text
 
@@ -51,6 +56,10 @@ int main(int argc, char** argv) {
     }
     if (arg == "--frontier") {
       options.frontier = true;
+      continue;
+    }
+    if (arg == "--contention") {
+      options.contention = true;
       continue;
     }
     if (arg == "--top" || arg.rfind("--top=", 0) == 0) {

@@ -42,7 +42,8 @@ options:
                     simulator events (send/deliver/drop/jump/topology/
                     conformance), bounded to N kept records (default 4096)
                     by deterministic decimation; meta line first
-  --list            print the expanded cells and run nothing
+  --list            print the expanded cells, per-axis cardinalities, and
+                    the total cell count, and run nothing
   --quiet           suppress per-cell progress lines
   --help            this text
 
@@ -56,6 +57,13 @@ sweepable keys (comma lists and integer ranges a..b become axes):
   scale default; adapter = per-node objects, the byte-identical
   reference path), rho, T, D, delta_h, B0,
   horizon, sample_dt, seed (alias: seeds)
+  traffic: off (default; stochastic delays only), or a link-pipeline
+  spec idle|cbr|bulk with :knob=value knobs -- idle[:bw=B:queue=Q:
+  mark=M:msg=S] models bandwidth/queueing for sync messages only,
+  cbr:bw=B:rate=R[:pkt=P:...] adds constant-rate background packets
+  per link direction, bulk:bw=B:bytes=N:interval=I[:...] adds periodic
+  greedy transfers (docs/traffic.md documents every knob; traffic-off
+  trajectories are byte-identical to the seed's)
   scenario: kind[:knob=value...] with kind churn|switching-star|mobility|
   gauss-markov|group|trace (docs/scenarios.md documents every knob;
   trace wants path=<contacts.csv|.json>, mobility-style kinds accept
@@ -68,6 +76,8 @@ examples:
   gcs_run --n=8,16,32 --topology=ring,complete --seeds=1..5
   gcs_run --campaign campaigns/churn.json --check --shards=4 --delay=constant:0.5
   gcs_run --n=10 --scenario=gauss-markov:alpha=0.85:backbone=false:connect_window=3.5 --check
+  gcs_run --campaign campaigns/contention.json --check --series
+  gcs_run --n=12 --traffic=off,cbr:bw=4000:rate=40 --delay=constant:0.5 --check
   gcs_run --campaign campaigns/churn.json --horizon=120 --out /tmp/churn
 )";
 
