@@ -2,9 +2,12 @@
 
 #include <cmath>
 #include <cstddef>
+#include <fstream>
 #include <map>
 #include <ostream>
 #include <set>
+#include <sstream>
+#include <stdexcept>
 #include <string>
 
 #include "harness/serialize.hpp"
@@ -32,6 +35,11 @@ bool is_float_field(const std::string& key) {
       // run_stats sync-latency pair (schema v6); the queue/drop/mark
       // fields next to them are counters
       "sync_delay_sum", "sync_delay_max",
+      // envelope-fit document (schema v7): the fitted model and the
+      // per-cell skews/ratios are all derived float physics; "points"
+      // and "n" next to them are counters
+      "observed", "analytic", "fitted", "envelope_ratio", "bound_gap",
+      "intercept", "slope", "shift", "rss",
       // timing
       "wall_ms", "events_per_sec",
       // config echo
@@ -228,6 +236,48 @@ struct Differ {
 };
 
 }  // namespace
+
+int diff_files(const std::string& file_a, const std::string& file_b,
+               const DiffOptions& options, std::ostream& log,
+               DiffStats* stats_out) {
+  const auto load = [](const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) throw std::runtime_error("cannot read " + path);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    try {
+      return json::parse(buf.str());
+    } catch (const std::exception& e) {
+      throw std::runtime_error(path + ": " + e.what());
+    }
+  };
+  const json::Value a = load(file_a);
+  const json::Value b = load(file_b);
+
+  Differ differ{options, log, {}, 0, 0};
+  DiffStats& stats = differ.stats;
+  ++stats.cells_compared;
+  // diff_cell's normalizations all apply here too: schema drift is one
+  // loud finding, and "campaign" is identity (a regenerated artifact
+  // routinely carries another campaign name), not trajectory.
+  differ.diff_cell("<document>", a, b);
+
+  if (differ.suppressed > 0 && !options.quiet) {
+    log << "... " << differ.suppressed << " more difference line(s) suppressed"
+        << " (--max-diffs)\n";
+  }
+  log << "compared 1 document(s): " << stats.cells_differing << " differ ("
+      << stats.field_diffs << " field diff(s), " << stats.schema_mismatches
+      << " schema mismatch(es))";
+  if (stats.clean()) {
+    log << " -- documents match"
+        << (options.compare_timing ? "" : " (timing ignored)");
+  }
+  log << "\n";
+
+  if (stats_out != nullptr) *stats_out = stats;
+  return options.strict && !stats.clean() ? 1 : 0;
+}
 
 int diff_trees(const std::string& dir_a, const std::string& dir_b,
                const DiffOptions& options, std::ostream& log,

@@ -61,6 +61,17 @@ int diff_trees(const std::string& dir_a, const std::string& dir_b,
                const DiffOptions& options, std::ostream& log,
                DiffStats* stats = nullptr);
 
+// Compares two standalone JSON documents (the envelope-fit artifacts:
+// ENVELOPE_baseline.json vs a freshly regenerated fit) under the same
+// field rules as tree cells: schema drift is one loud finding, the
+// "campaign" echo is identity, fit fields (observed/fitted/ratios/
+// intercept/slope/shift/rss) are float-classed, counters exact.  Return
+// and throw conventions match diff_trees; gcs_diff picks this path when
+// both arguments are regular files.
+int diff_files(const std::string& file_a, const std::string& file_b,
+               const DiffOptions& options, std::ostream& log,
+               DiffStats* stats = nullptr);
+
 }  // namespace gcs::cli
 
 #endif  // GCS_CLI_DIFF_HPP

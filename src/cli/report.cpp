@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "harness/envelope.hpp"
 #include "harness/experiment.hpp"
 #include "harness/serialize.hpp"
 #include "obs/recorder.hpp"
@@ -63,6 +64,14 @@ int write_report(const std::string& tree_dir, const ReportOptions& options,
                  std::ostream& out) {
   const std::map<std::string, json::Value> docs =
       harness::load_cell_documents(tree_dir);
+
+  // The envelope fit is all-or-nothing: run it before rendering anything,
+  // so a tree the fitter rejects (schema drift, non-finite skew) fails
+  // loudly -- the throw propagates and gcs_report exits 2 with the
+  // culprit cell named -- instead of printing a report missing the one
+  // section that was asked for.
+  harness::EnvelopeFit envelope_fit;
+  if (options.envelope) envelope_fit = harness::fit_envelope(docs);
 
   std::vector<Row> rows;
   std::vector<std::string> skipped;
@@ -160,13 +169,17 @@ int write_report(const std::string& tree_dir, const ReportOptions& options,
   if (options.frontier) {
     // Skew-vs-message-cost frontier: what each (delta_h, B0) setting buys.
     // Sorted by message cost so the accuracy-for-traffic trade reads top
-    // to bottom; label breaks ties deterministically.
+    // to bottom; equal-cost rows order by ratio (tightest first) and
+    // equal-(cost, ratio) rows pin to label order, so the frontier bytes
+    // are a deterministic function of the tree (test_report.cpp holds
+    // two fully tied cells to this).
     std::vector<const Row*> frontier;
     frontier.reserve(rows.size());
     for (const Row& row : rows) frontier.push_back(&row);
     std::sort(frontier.begin(), frontier.end(),
               [](const Row* a, const Row* b) {
                 if (a->messages != b->messages) return a->messages < b->messages;
+                if (a->ratio != b->ratio) return a->ratio > b->ratio;
                 return a->label < b->label;
               });
     out << "\nskew-vs-message-cost frontier\n";
@@ -216,6 +229,51 @@ int write_report(const std::string& tree_dir, const ReportOptions& options,
           << num(g.ratio.max()) << "  " << num(mean_delay) << "  " << g.packets
           << "  " << g.dropped << "  " << g.marks << "  " << g.peak_queue
           << "  " << traffic << "\n";
+    }
+  }
+
+  if (options.envelope) {
+    // The empirical envelope: the per-group fitted models, every cell
+    // against its fit, and the cells where the paper's bound leaves the
+    // most air.  All rows come pre-sorted from the fitter (groups by
+    // key, cells by label), so the bytes are stable.
+    out << "\nempirical skew envelope (least-squares over {const, log n, n}, "
+           "shifted to dominate)\n";
+    out << "  groups: " << envelope_fit.groups.size() << "\n";
+    out << "  basis  intercept  slope  shift  rss  points  group\n";
+    for (const harness::EnvelopeGroup& g : envelope_fit.groups) {
+      out << "  " << g.basis << "  " << num(g.intercept) << "  "
+          << num(g.slope) << "  " << num(g.shift) << "  " << num(g.rss)
+          << "  " << g.points << "  " << g.group << "\n";
+    }
+    out << "\n  per-cell fit (envelope_ratio = observed/fitted, bound_gap = "
+           "analytic/fitted)\n";
+    out << "  n  observed  fitted  envelope_ratio  bound_gap  cell\n";
+    for (const harness::EnvelopePoint& p : envelope_fit.cells) {
+      out << "  " << p.n << "  " << num(p.observed) << "  " << num(p.fitted)
+          << "  " << num(p.envelope_ratio) << "  " << num(p.bound_gap) << "  "
+          << p.cell << "\n";
+    }
+    // Widest gaps first: where the analytic envelope is loosest relative
+    // to measured reality; label pins the order of tied gaps.
+    std::vector<const harness::EnvelopePoint*> widest;
+    widest.reserve(envelope_fit.cells.size());
+    for (const harness::EnvelopePoint& p : envelope_fit.cells) {
+      widest.push_back(&p);
+    }
+    std::sort(widest.begin(), widest.end(),
+              [](const harness::EnvelopePoint* a,
+                 const harness::EnvelopePoint* b) {
+                if (a->bound_gap != b->bound_gap) {
+                  return a->bound_gap > b->bound_gap;
+                }
+                return a->cell < b->cell;
+              });
+    const std::size_t kw = std::min(options.top_k, widest.size());
+    out << "\n  top " << kw << " widest bound gaps (analytic/fitted)\n";
+    for (std::size_t i = 0; i < kw; ++i) {
+      out << "  " << (i + 1) << ". " << num(widest[i]->bound_gap) << "  "
+          << widest[i]->cell << "\n";
     }
   }
 

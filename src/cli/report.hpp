@@ -19,7 +19,14 @@
 //     grouped by their traffic spec (config.traffic), each group with
 //     its mean/max skew ratio, mean sync-message latency, and the
 //     queue/drop/mark totals -- the reporting path for
-//     campaigns/contention.json.
+//     campaigns/contention.json;
+//   * with `envelope`, the empirical skew-envelope view: the
+//     harness/envelope.hpp fit (groups, per-cell observed/fitted/
+//     envelope_ratio/bound_gap, widest bound gaps) -- the reporting path
+//     for campaigns/ablation_frontier.json.  Unlike every other section,
+//     this one refuses to render over undecodable cells: the fitter
+//     throws naming the culprit cell and gcs_report exits 2, because an
+//     envelope quietly fitted over a partial tree would gate nothing.
 //
 // Output is deterministic (sorted maps, shortest-round-trip numbers):
 // running the report twice on one tree produces identical bytes, which
@@ -37,6 +44,7 @@ struct ReportOptions {
   std::size_t top_k = 5;    // rows in the "tightest cells" section
   bool frontier = false;    // add the skew-vs-message-cost section
   bool contention = false;  // add the skew-vs-offered-load section
+  bool envelope = false;    // add the empirical-envelope section
 };
 
 // Renders the report for `tree_dir` to `out`.  Returns 0 when every

@@ -7,7 +7,9 @@
 #include <utility>
 #include <vector>
 
+#include "core/ablation_variants.hpp"
 #include "core/dcsa_node.hpp"
+#include "core/weighted_dcsa_node.hpp"
 #include "net/link.hpp"
 #include "net/topology.hpp"
 
@@ -111,6 +113,49 @@ bool parse_delivery(const std::string& delivery) {
                               "'");
 }
 
+// The per-node automaton factory for the ablation axis.  Only called for
+// the adapter store; "dcsa" is also what the columns arenas implement.
+core::NetworkSimulation::NodeFactory build_node_factory(
+    const ExperimentConfig& cfg) {
+  const core::SyncParams& p = cfg.params;
+  if (cfg.variant == "dcsa") {
+    return [p](core::NodeId) { return std::make_unique<core::DcsaNode>(p); };
+  }
+  const std::string kWeighted = "weighted";
+  if (cfg.variant.rfind(kWeighted, 0) == 0 &&
+      (cfg.variant.size() == kWeighted.size() ||
+       cfg.variant[kWeighted.size()] == ':')) {
+    // "weighted" = uniform weight 0.5; "weighted:w" pins it.  The weight
+    // must be a usable tolerance scale in (0, 1]; WeightedDcsaNode's
+    // min_weight safety clamp is set below any admissible w so the
+    // configured value is what actually runs.
+    double w = 0.5;
+    if (cfg.variant.size() > kWeighted.size()) {
+      w = std::stod(cfg.variant.substr(kWeighted.size() + 1));
+    }
+    if (!(w > 0.0) || w > 1.0) {
+      throw std::invalid_argument(
+          "run_experiment: weighted variant wants a weight in (0, 1], got '" +
+          cfg.variant + "'");
+    }
+    return [p, w](core::NodeId) {
+      return std::make_unique<core::WeightedDcsaNode>(
+          p, [w](core::NodeId, core::NodeId) { return w; },
+          /*min_weight=*/w);
+    };
+  }
+  if (cfg.variant == "noblock") {
+    return
+        [p](core::NodeId) { return std::make_unique<core::NoBlockDcsaNode>(p); };
+  }
+  if (cfg.variant == "nojump") {
+    return
+        [p](core::NodeId) { return std::make_unique<core::NoJumpDcsaNode>(p); };
+  }
+  throw std::invalid_argument("run_experiment: unknown variant '" +
+                              cfg.variant + "'");
+}
+
 }  // namespace
 
 ExperimentResult run_experiment(const ExperimentConfig& cfg,
@@ -138,14 +183,20 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg,
   // store-equivalence matrix byte-compares against).
   std::unique_ptr<core::NetworkSimulation> sim_ptr;
   if (cfg.store == "columns") {
+    // The flat arenas implement plain DCSA only; a non-default variant
+    // must not silently run the wrong protocol at scale.
+    if (cfg.variant != "dcsa") {
+      throw std::invalid_argument(
+          "run_experiment: variant '" + cfg.variant +
+          "' needs store=\"adapter\" (the columns store runs plain DCSA)");
+    }
     sim_ptr = std::make_unique<core::NetworkSimulation>(
         p, scenario.to_dynamic_graph(), build_link(cfg), build_schedules(cfg),
         options);
   } else if (cfg.store == "adapter") {
     sim_ptr = std::make_unique<core::NetworkSimulation>(
         p, scenario.to_dynamic_graph(), build_link(cfg), build_schedules(cfg),
-        [&p](core::NodeId) { return std::make_unique<core::DcsaNode>(p); },
-        options);
+        build_node_factory(cfg), options);
   } else {
     throw std::invalid_argument("run_experiment: unknown store '" + cfg.store +
                                 "' (expected \"columns\" or \"adapter\")");

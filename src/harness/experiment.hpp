@@ -76,6 +76,18 @@ struct ExperimentConfig {
   // finite-bandwidth models queue sync messages behind background load
   // and light up the schema-v6 traffic counters.
   std::string traffic = "off";
+  // Protocol variant under test (the ablation axis):
+  //   "dcsa"         -- Algorithm 2 as published (the default);
+  //   "weighted[:w]" -- core::WeightedDcsaNode with every edge at uniform
+  //                     tolerance weight w in (0, 1] (default 0.5): matured
+  //                     edges are held to w * b0 instead of b0;
+  //   "noblock"      -- catch-up without the blocking cap;
+  //   "nojump"       -- free-running clocks (no catch-up at all).
+  // Every non-default variant runs per-node automatons, so it requires
+  // store == "adapter" (the columns arenas implement plain DCSA only);
+  // run_experiment throws otherwise instead of silently running the
+  // wrong protocol.
+  std::string variant = "dcsa";
 
   // Samples fire at sample_dt, 2*sample_dt, ...; the engine executes
   // events with t <= horizon under BOTH scheduler policies, so a sample

@@ -194,6 +194,7 @@ util::json::Value config_to_json(const ExperimentConfig& config) {
   v["shards"] = config.shards;
   v["store"] = config.store;
   v["traffic"] = config.traffic;
+  v["variant"] = config.variant;
   v["horizon"] = config.horizon;
   v["sample_dt"] = config.sample_dt;
   v["seed"] = config.seed;
@@ -202,9 +203,10 @@ util::json::Value config_to_json(const ExperimentConfig& config) {
 
 ExperimentConfig config_from_json(const util::json::Value& doc) {
   static const std::set<std::string> kKnown = {
-      "name",   "n",     "rho",      "T",         "D",    "delta_h",
-      "B0",     "topology", "drift", "delay",     "engine", "delivery",
-      "shards", "store", "traffic", "horizon", "sample_dt", "seed"};
+      "name",   "n",     "rho",      "T",       "D",         "delta_h",
+      "B0",     "topology", "drift", "delay",   "engine",    "delivery",
+      "shards", "store", "traffic",  "variant", "horizon",   "sample_dt",
+      "seed"};
   for (const auto& [key, value] : doc.as_object()) {
     (void)value;
     if (kKnown.count(key) == 0) {
@@ -231,6 +233,7 @@ ExperimentConfig config_from_json(const util::json::Value& doc) {
   if (const auto* v = doc.find("shards")) config.shards = v->as_u64();
   if (const auto* v = doc.find("store")) config.store = v->as_string();
   if (const auto* v = doc.find("traffic")) config.traffic = v->as_string();
+  if (const auto* v = doc.find("variant")) config.variant = v->as_string();
   if (const auto* v = doc.find("horizon")) config.horizon = v->as_number();
   if (const auto* v = doc.find("sample_dt")) config.sample_dt = v->as_number();
   if (const auto* v = doc.find("seed")) config.seed = v->as_u64();

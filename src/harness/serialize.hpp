@@ -48,7 +48,13 @@ namespace gcs::harness {
 //        traffic_dropped / ecn_marks / peak_queue_bytes plus the
 //        sync-latency pair sync_delay_sum / sync_delay_max; the series
 //        summary gains peak_queue_bytes (sample-time backlog gauge).
-inline constexpr int kResultSchemaVersion = 6;
+//   7 -- the ablation/envelope layer: config echo gains "variant" (the
+//        protocol under test: dcsa / weighted[:w] / noblock / nojump,
+//        "dcsa" by default); the same version stamps the envelope-fit
+//        document emitted by harness/envelope.hpp (gcs_report
+//        --envelope-json), whose per-cell envelope_ratio / bound_gap
+//        fields are part of this schema.
+inline constexpr int kResultSchemaVersion = 7;
 
 util::json::Value to_json(const core::RunStats& stats);
 core::RunStats run_stats_from_json(const util::json::Value& doc);

@@ -82,6 +82,26 @@ TEST(Campaign, TrafficAxisSweepsAndValidatesSpecs) {
   EXPECT_EQ(campaign.cells[1].label, "001-cbr-bw-4000-rate-10");
 }
 
+TEST(Campaign, VariantAxisSweepsProtocols) {
+  // The ablation axis (campaigns/ablation_frontier.json): every cell
+  // carries its protocol variant in config and label, and the defaults
+  // block can pin the adapter store the non-default variants require.
+  const cli::Campaign campaign = from_text(R"({
+    "name": "abl",
+    "defaults": {"n": 8, "store": "adapter"},
+    "sweep": {"variant": ["dcsa", "weighted:0.5", "nojump"]}
+  })");
+  ASSERT_EQ(campaign.cells.size(), 3u);
+  EXPECT_EQ(campaign.cells[0].config.variant, "dcsa");
+  EXPECT_EQ(campaign.cells[1].config.variant, "weighted:0.5");
+  EXPECT_EQ(campaign.cells[2].config.variant, "nojump");
+  for (const cli::Cell& cell : campaign.cells) {
+    EXPECT_EQ(cell.config.store, "adapter");
+  }
+  EXPECT_NE(campaign.cells[1].label.find("weighted"), std::string::npos)
+      << campaign.cells[1].label;
+}
+
 TEST(Campaign, SeedListAndUnsweptAxesKeepDefaults) {
   const cli::Campaign campaign = from_text(R"({
     "name": "seeds",

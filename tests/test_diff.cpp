@@ -185,6 +185,63 @@ TEST(DiffTrees, DifferentCampaignNamesStillMatch) {
   EXPECT_TRUE(run.stats.clean()) << run.log;
 }
 
+// diff_files: the single-document mode gcs_diff uses to gate the
+// committed ENVELOPE_baseline.json against a regenerated envelope fit.
+fs::path write_file(const std::string& name, const std::string& text) {
+  const fs::path path = fs::path(::testing::TempDir()) / "gcs_diff" / name;
+  fs::create_directories(path.parent_path());
+  std::ofstream out(path, std::ios::binary);
+  out << text;
+  return path;
+}
+
+TEST(DiffFiles, IdenticalDocumentsMatchUnderStrict) {
+  const std::string text =
+      R"({"cells": [{"bound_gap": 12.5, "cell": "a", "envelope_ratio": 0.9}],)"
+      R"( "schema_version": 7})";
+  const fs::path a = write_file("env-a.json", text);
+  const fs::path b = write_file("env-b.json", text);
+  cli::DiffOptions options;
+  options.strict = true;
+  std::ostringstream log;
+  cli::DiffStats stats;
+  EXPECT_EQ(cli::diff_files(a.string(), b.string(), options, log, &stats), 0);
+  EXPECT_TRUE(stats.clean()) << log.str();
+  EXPECT_EQ(stats.cells_compared, 1u);
+}
+
+TEST(DiffFiles, PerturbedRatioFailsStrictNamingTheField) {
+  const fs::path a = write_file(
+      "perturb-a.json",
+      R"({"cells": [{"cell": "a", "envelope_ratio": 0.9}], "schema_version": 7})");
+  const fs::path b = write_file(
+      "perturb-b.json",
+      R"({"cells": [{"cell": "a", "envelope_ratio": 0.95}], "schema_version": 7})");
+  cli::DiffOptions options;
+  options.strict = true;
+  std::ostringstream log;
+  cli::DiffStats stats;
+  EXPECT_EQ(cli::diff_files(a.string(), b.string(), options, log, &stats), 1);
+  EXPECT_EQ(stats.field_diffs, 1u);
+  EXPECT_NE(log.str().find("envelope_ratio"), std::string::npos) << log.str();
+  // Without --strict the difference is still reported but not fatal.
+  std::ostringstream relog;
+  EXPECT_EQ(cli::diff_files(a.string(), b.string(), {}, relog, nullptr), 0);
+}
+
+TEST(DiffFiles, UnparseableFileThrowsNamingThePath) {
+  const fs::path good = write_file("parse-good.json", R"({"schema_version": 7})");
+  const fs::path bad = write_file("parse-bad.json", "{nope");
+  try {
+    std::ostringstream log;
+    cli::diff_files(good.string(), bad.string(), {}, log, nullptr);
+    FAIL() << "unparseable file did not throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("parse-bad.json"), std::string::npos)
+        << e.what();
+  }
+}
+
 TEST(DiffTrees, UnreadableTreeThrows) {
   const fs::path a = make_tree("throw-a");
   EXPECT_THROW(

@@ -119,6 +119,51 @@ TEST(RunExperiment, EngineAndDeliveryKnobsAreTrajectoryNeutral) {
   }
 }
 
+TEST(RunExperiment, VariantAxisRunsAblationProtocols) {
+  // The ablation variants (core/ablation_variants.hpp) through the
+  // harness.  On this quiet spread-drift ring the blocking cap never
+  // binds, so noblock and weighted track plain DCSA's physics, while
+  // nojump free-runs: with constant rates evenly spaced over
+  // [1-rho, 1+rho] and no catch-up, the skew at the final sample is
+  // exactly 2 * rho * horizon.
+  auto dcsa_cfg = small_config();
+  dcsa_cfg.store = "adapter";
+  const auto dcsa = gcs::harness::run_experiment(dcsa_cfg);
+
+  auto nojump_cfg = dcsa_cfg;
+  nojump_cfg.variant = "nojump";
+  const auto nojump = gcs::harness::run_experiment(nojump_cfg);
+  EXPECT_NEAR(nojump.max_global_skew, 2.0 * 0.05 * 40.0, 1e-6);
+  EXPECT_GT(nojump.max_global_skew, dcsa.max_global_skew);
+  EXPECT_EQ(nojump.run_stats.jumps, 0u);
+  EXPECT_GT(nojump.run_stats.messages_sent, 0u);  // broadcasts continue
+
+  for (const char* variant : {"noblock", "weighted:0.5"}) {
+    auto cfg = dcsa_cfg;
+    cfg.variant = variant;
+    const auto result = gcs::harness::run_experiment(cfg);
+    EXPECT_EQ(result.global_violations, 0u) << variant;
+    EXPECT_NEAR(result.max_global_skew, dcsa.max_global_skew, 1e-9)
+        << variant;
+  }
+}
+
+TEST(RunExperiment, VariantValidationIsLoud) {
+  // The columns arenas implement plain DCSA only; anything else must
+  // refuse to run rather than silently measure the wrong protocol.
+  auto cfg = small_config();
+  cfg.store = "columns";
+  cfg.variant = "nojump";
+  EXPECT_THROW(gcs::harness::run_experiment(cfg), std::invalid_argument);
+  cfg.store = "adapter";
+  cfg.variant = "bogus";
+  EXPECT_THROW(gcs::harness::run_experiment(cfg), std::invalid_argument);
+  cfg.variant = "weighted:0";
+  EXPECT_THROW(gcs::harness::run_experiment(cfg), std::invalid_argument);
+  cfg.variant = "weighted:1.5";
+  EXPECT_THROW(gcs::harness::run_experiment(cfg), std::invalid_argument);
+}
+
 TEST(RunExperiment, SampleAtHorizonBoundaryFiresUnderBothEngines) {
   // The periodic sample scheduled exactly at t == horizon fires: the
   // engine's run_until executes events with t <= horizon under both

@@ -19,14 +19,19 @@
 
 #include <cmath>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "core/dcsa_node.hpp"
 #include "core/network_sim.hpp"
+#include "harness/envelope.hpp"
+#include "harness/experiment.hpp"
+#include "harness/serialize.hpp"
 #include "net/delay.hpp"
 #include "net/scenario.hpp"
+#include "util/json.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -179,6 +184,64 @@ INSTANTIATE_TEST_SUITE_P(
       }
       return kind + "_seed" + std::to_string(std::get<1>(info.param));
     });
+
+// 5. The empirical skew envelope (harness/envelope.hpp) over real runs:
+//    whatever parameters are drawn, the fitted curve must dominate every
+//    observed point (envelope_ratio <= 1), stay below the analytic bound
+//    it is measured against (that is what makes bound_gap >= 1 the
+//    headline), and be monotone non-decreasing in n -- a fit that dips
+//    as the network grows would be unusable as an envelope.
+TEST(EnvelopeProperties, FitDominatesObservationsAndStaysUnderBound) {
+  namespace json = gcs::util::json;
+  for (const std::uint64_t seed : {1u, 2u, 3u}) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    Lcg rng(seed * 97 + 11);
+    gcs::harness::ExperimentConfig base;
+    base.params = draw_params(rng);
+    base.topology = "ring";
+    base.delay = "constant:0.5";
+    base.horizon = 30.0;
+    std::map<std::string, json::Value> docs;
+    for (const std::size_t n : {4u, 6u, 8u, 10u}) {
+      // Two seeds per n: the fitter folds them into the per-n max, so
+      // the group still has exactly four abscissae.
+      for (const std::uint64_t s : {seed, seed + 50}) {
+        gcs::harness::ExperimentConfig cfg = base;
+        cfg.params.n = n;
+        cfg.seed = s;
+        const std::string label =
+            "n" + std::to_string(n) + "-s" + std::to_string(s);
+        cfg.name = label;
+        const gcs::harness::ExperimentResult result =
+            gcs::harness::run_experiment(cfg);
+        EXPECT_EQ(result.global_violations, 0u) << label;
+        json::Value doc;
+        doc["cell"] = label;
+        doc["config"] = gcs::harness::config_to_json(cfg);
+        doc["result"] = gcs::harness::to_json(result);
+        docs[label] = std::move(doc);
+      }
+    }
+    const gcs::harness::EnvelopeFit fit = gcs::harness::fit_envelope(docs);
+    ASSERT_EQ(fit.groups.size(), 1u);
+    const gcs::harness::EnvelopeGroup& group = fit.groups[0];
+    EXPECT_EQ(group.points, 4u);
+    for (const gcs::harness::EnvelopePoint& p : fit.cells) {
+      EXPECT_GE(p.fitted, p.observed - 1e-9) << p.cell;
+      EXPECT_LE(p.envelope_ratio, 1.0 + 1e-9) << p.cell;
+      // The fit sits strictly inside the analytic envelope: the bound
+      // gap is the measured air between theory and behavior.
+      EXPECT_LE(p.fitted, p.analytic + 1e-9) << p.cell;
+      EXPECT_GE(p.bound_gap, 1.0) << p.cell;
+    }
+    double prev = group.evaluate(2);
+    for (std::uint64_t n = 3; n <= 64; ++n) {
+      const double cur = group.evaluate(n);
+      EXPECT_GE(cur, prev - 1e-12) << "fit dips at n=" << n;
+      prev = cur;
+    }
+  }
+}
 
 // The scenario horizon rule (scenario.hpp): no generator emits an event
 // at or past its horizon; post-horizon dynamics are dropped, not clamped.

@@ -1,0 +1,168 @@
+// Rendering pins for cli::write_report: the deterministic tie-breaks in
+// the frontier and envelope sections (fully tied cells must order by
+// label, so report bytes are a function of the tree and nothing else),
+// and the envelope section's loud-failure contrast with the report's
+// usual skip-and-continue discipline.
+#include "cli/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "harness/experiment.hpp"
+#include "harness/serialize.hpp"
+#include "util/json.hpp"
+
+namespace {
+
+namespace cli = gcs::cli;
+namespace fs = std::filesystem;
+namespace harness = gcs::harness;
+namespace json = gcs::util::json;
+
+fs::path fresh_tree(const std::string& name) {
+  const fs::path dir = fs::path(::testing::TempDir()) / "gcs_report" / name;
+  fs::remove_all(dir);
+  fs::create_directories(dir / "cells");
+  return dir;
+}
+
+// One synthetic cell document (real cell_document layout), with the
+// fields the report sections read set explicitly.
+void write_cell(const fs::path& tree, const std::string& label,
+                std::size_t n, double observed, double analytic,
+                std::uint64_t messages,
+                int drifted_schema_version = 0) {
+  harness::ExperimentConfig config;
+  config.params.n = n;
+  config.topology = "ring";
+  harness::ExperimentResult result;
+  result.max_global_skew = observed;
+  result.global_skew_bound = analytic;
+  result.run_stats.messages_sent = messages;
+  json::Value doc = harness::cell_document(
+      "reptest", label, harness::config_to_json(config), nullptr, result,
+      /*wall_ms=*/0.0, /*events_per_sec=*/0.0);
+  if (drifted_schema_version != 0) {
+    doc["result"]["schema_version"] = drifted_schema_version;
+  }
+  std::ofstream out(tree / "cells" / (label + ".json"), std::ios::binary);
+  ASSERT_TRUE(out) << label;
+  out << json::dump(doc, 2) << "\n";
+}
+
+struct Render {
+  int rc = 0;
+  std::string text;
+};
+
+Render render(const fs::path& tree, cli::ReportOptions options) {
+  Render r;
+  std::ostringstream out;
+  r.rc = cli::write_report(tree.string(), options, out);
+  r.text = out.str();
+  return r;
+}
+
+// Position of `needle` after `from`, asserting it exists.
+std::size_t pos_after(const std::string& text, std::size_t from,
+                      const std::string& needle) {
+  const std::size_t pos = text.find(needle, from);
+  EXPECT_NE(pos, std::string::npos) << "missing '" << needle << "'";
+  return pos;
+}
+
+TEST(Report, FrontierOrdersTiedCellsByLabel) {
+  const fs::path tree = fresh_tree("frontier-tie");
+  // "zz-tied" and "aa-tied" are fully tied (equal messages, equal
+  // ratio); "mm-cheap" costs fewer messages and must lead regardless of
+  // label.  Regression for the frontier tie-break: without the label
+  // leg, tied rows would order by load_cell_documents iteration
+  // accident.
+  write_cell(tree, "zz-tied", 8, 2.0, 40.0, /*messages=*/500);
+  write_cell(tree, "aa-tied", 8, 2.0, 40.0, /*messages=*/500);
+  write_cell(tree, "mm-cheap", 8, 3.0, 40.0, /*messages=*/100);
+  cli::ReportOptions options;
+  options.frontier = true;
+  const Render r = render(tree, options);
+  EXPECT_EQ(r.rc, 0);
+  const std::size_t section =
+      pos_after(r.text, 0, "skew-vs-message-cost frontier");
+  const std::size_t cheap = pos_after(r.text, section, "mm-cheap");
+  const std::size_t a = pos_after(r.text, section, "aa-tied");
+  const std::size_t z = pos_after(r.text, section, "zz-tied");
+  EXPECT_LT(cheap, a);
+  EXPECT_LT(a, z);
+}
+
+TEST(Report, FrontierOrdersEqualCostCellsByRatio) {
+  const fs::path tree = fresh_tree("frontier-ratio");
+  write_cell(tree, "aa-loose", 8, 1.0, 40.0, /*messages=*/500);
+  write_cell(tree, "zz-tight", 8, 4.0, 40.0, /*messages=*/500);
+  cli::ReportOptions options;
+  options.frontier = true;
+  const Render r = render(tree, options);
+  const std::size_t section =
+      pos_after(r.text, 0, "skew-vs-message-cost frontier");
+  // Equal message cost: the tighter cell (higher observed/bound) leads
+  // even though its label sorts last.
+  EXPECT_LT(pos_after(r.text, section, "zz-tight"),
+            pos_after(r.text, section, "aa-loose"));
+}
+
+TEST(Report, WidestGapsOrderTiedCellsByLabel) {
+  const fs::path tree = fresh_tree("envelope-tie");
+  // Same group, same n, same skew: identical fitted and bound_gap, so
+  // the widest-gaps ranking must fall back to label order.
+  write_cell(tree, "zz-twin", 8, 2.0, 40.0, /*messages=*/500);
+  write_cell(tree, "aa-twin", 8, 2.0, 40.0, /*messages=*/500);
+  cli::ReportOptions options;
+  options.envelope = true;
+  const Render r = render(tree, options);
+  EXPECT_EQ(r.rc, 0);
+  const std::size_t section =
+      pos_after(r.text, 0, "widest bound gaps");
+  EXPECT_LT(pos_after(r.text, section, "aa-twin"),
+            pos_after(r.text, section, "zz-twin"));
+}
+
+TEST(Report, EnvelopeRendersGroupAndCellTables) {
+  const fs::path tree = fresh_tree("envelope-render");
+  write_cell(tree, "n4", 4, 2.0, 40.0, 100);
+  write_cell(tree, "n8", 8, 2.5, 44.0, 200);
+  write_cell(tree, "n16", 16, 3.0, 48.0, 400);
+  cli::ReportOptions options;
+  options.envelope = true;
+  const Render r = render(tree, options);
+  EXPECT_EQ(r.rc, 0);
+  EXPECT_NE(r.text.find("empirical skew envelope"), std::string::npos);
+  EXPECT_NE(r.text.find("groups: 1"), std::string::npos);
+  EXPECT_NE(r.text.find("variant=dcsa"), std::string::npos);
+  EXPECT_NE(r.text.find("envelope_ratio"), std::string::npos);
+}
+
+TEST(Report, EnvelopeRefusesDriftedTreesLoudly) {
+  // Without --envelope a drifted cell is skipped and reported (exit 1);
+  // with --envelope the same tree must throw with the culprit named --
+  // an envelope fitted over a partial tree would gate nothing.
+  const fs::path tree = fresh_tree("envelope-drift");
+  write_cell(tree, "good", 8, 2.0, 40.0, 100);
+  write_cell(tree, "bad", 12, 2.5, 44.0, 200, /*drifted_schema_version=*/999);
+  const Render skip = render(tree, {});
+  EXPECT_EQ(skip.rc, 1);
+  EXPECT_NE(skip.text.find("SKIPPED bad"), std::string::npos);
+  cli::ReportOptions options;
+  options.envelope = true;
+  try {
+    render(tree, options);
+    FAIL() << "drifted tree did not throw under envelope";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("cell 'bad'"), std::string::npos)
+        << e.what();
+  }
+}
+
+}  // namespace

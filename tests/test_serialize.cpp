@@ -130,6 +130,18 @@ TEST(Serialize, V6TrafficCountersTravel) {
   EXPECT_EQ(back.series.peak_queue_bytes, 0.0);
 }
 
+TEST(Serialize, V7VariantEchoTravelsAndDefaults) {
+  // The v7 config echo carries the protocol variant; a pre-v7 document
+  // without the key reads back as the published algorithm.
+  const harness::ExperimentConfig cfg;
+  const json::Value doc = harness::config_to_json(cfg);
+  EXPECT_EQ(doc.at("variant").as_string(), "dcsa");
+  const harness::ExperimentConfig back =
+      harness::config_from_json(json::parse(R"({"n": 6})"));
+  EXPECT_EQ(back.variant, "dcsa");
+  EXPECT_EQ(back.params.n, 6u);
+}
+
 TEST(Serialize, V5MemoryCountersTravel) {
   const harness::ExperimentResult result = run_small();
   const harness::ExperimentResult back = harness::result_from_json(
@@ -181,6 +193,7 @@ TEST(Serialize, ConfigRoundTrip) {
   cfg.delivery = "per-receiver";
   cfg.store = "adapter";
   cfg.traffic = "cbr:bw=4000:rate=10";
+  cfg.variant = "weighted:0.5";
   cfg.horizon = 75.0;
   cfg.sample_dt = 0.25;
   cfg.seed = 99;
@@ -193,6 +206,7 @@ TEST(Serialize, ConfigRoundTrip) {
   EXPECT_EQ(back.delay, "constant:0.25");
   EXPECT_EQ(back.store, "adapter");
   EXPECT_EQ(back.traffic, "cbr:bw=4000:rate=10");
+  EXPECT_EQ(back.variant, "weighted:0.5");
   EXPECT_EQ(back.seed, 99u);
 }
 

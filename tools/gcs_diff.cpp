@@ -13,6 +13,7 @@
 // 0 trees match (or differences found without --strict), 1 differences
 // under --strict, 2 bad usage or unreadable tree.
 #include <cstdlib>
+#include <filesystem>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -24,6 +25,11 @@ namespace {
 constexpr const char kUsage[] = R"(gcs_diff -- compare two gcs_run result trees cell by cell
 
 usage: gcs_diff TREE_A TREE_B [options]
+       gcs_diff FILE_A FILE_B [options]
+
+When both arguments are regular .json files (e.g. ENVELOPE_baseline.json
+vs a regenerated envelope fit), the documents are compared directly
+under the same field rules as tree cells.
 
 options:
   --tol X           absolute tolerance for float physics fields
@@ -108,13 +114,24 @@ int main(int argc, char** argv) {
   }
 
   if (trees.size() != 2) {
-    std::cerr << "gcs_diff: expected exactly two tree directories\n\n"
+    std::cerr << "gcs_diff: expected exactly two tree directories "
+                 "(or two .json files)\n\n"
               << kUsage;
     return 2;
   }
 
+  const bool file_a = std::filesystem::is_regular_file(trees[0]);
+  const bool file_b = std::filesystem::is_regular_file(trees[1]);
+  if (file_a != file_b) {
+    std::cerr << "gcs_diff: cannot compare a file with a tree ('" << trees[0]
+              << "' vs '" << trees[1] << "')\n";
+    return 2;
+  }
+
   try {
-    return gcs::cli::diff_trees(trees[0], trees[1], options, std::cout);
+    return file_a
+               ? gcs::cli::diff_files(trees[0], trees[1], options, std::cout)
+               : gcs::cli::diff_trees(trees[0], trees[1], options, std::cout);
   } catch (const std::exception& e) {
     std::cerr << "gcs_diff: " << e.what() << "\n";
     return 2;

@@ -21,6 +21,8 @@
 #include <string>
 
 #include "cli/report.hpp"
+#include "harness/envelope.hpp"
+#include "util/json.hpp"
 
 namespace {
 
@@ -34,11 +36,19 @@ options:
                by messages sent; pairs with campaigns/ablation.json)
   --contention add the observed-skew-vs-offered-load section (groups cells
                by traffic spec; pairs with campaigns/contention.json)
+  --envelope   add the empirical skew-envelope section (least-squares fit
+               of observed worst-case skew over n per generator group;
+               pairs with campaigns/ablation_frontier.json)
+  --envelope-json FILE
+               write the envelope-fit document (schema-v7 groups + per-cell
+               envelope_ratio / bound_gap) to FILE -- the artifact gcs_diff
+               gates against ENVELOPE_baseline.json
   -o FILE      write the report to FILE instead of stdout
   --help       this text
 
 exit codes: 0 success, 1 cells skipped (schema drift; the skips are
-listed in the report), 2 bad usage or unusable tree.
+listed in the report), 2 bad usage, unusable tree, or a cell the
+envelope fitter rejects (named on stderr).
 )";
 
 }  // namespace
@@ -46,6 +56,7 @@ listed in the report), 2 bad usage or unusable tree.
 int main(int argc, char** argv) {
   std::string tree_dir;
   std::string out_file;
+  std::string envelope_json;
   gcs::cli::ReportOptions options;
 
   for (int i = 1; i < argc; ++i) {
@@ -60,6 +71,22 @@ int main(int argc, char** argv) {
     }
     if (arg == "--contention") {
       options.contention = true;
+      continue;
+    }
+    if (arg == "--envelope") {
+      options.envelope = true;
+      continue;
+    }
+    if (arg == "--envelope-json" || arg.rfind("--envelope-json=", 0) == 0) {
+      if (const std::size_t eq = arg.find('='); eq != std::string::npos) {
+        envelope_json = arg.substr(eq + 1);
+      } else if (i + 1 < argc) {
+        envelope_json = argv[++i];
+      }
+      if (envelope_json.empty()) {
+        std::cerr << "gcs_report: --envelope-json needs a file name\n";
+        return 2;
+      }
       continue;
     }
     if (arg == "--top" || arg.rfind("--top=", 0) == 0) {
@@ -104,6 +131,22 @@ int main(int argc, char** argv) {
   }
 
   try {
+    if (!envelope_json.empty()) {
+      const gcs::harness::EnvelopeFit fit =
+          gcs::harness::fit_envelope_tree(tree_dir);
+      std::ofstream out(envelope_json, std::ios::binary);
+      if (!out) {
+        std::cerr << "gcs_report: cannot open '" << envelope_json
+                  << "' for writing\n";
+        return 2;
+      }
+      out << gcs::util::json::dump(gcs::harness::to_json(fit), 2) << "\n";
+      if (!out) {
+        std::cerr << "gcs_report: write to '" << envelope_json
+                  << "' failed\n";
+        return 2;
+      }
+    }
     if (out_file.empty()) {
       return gcs::cli::write_report(tree_dir, options, std::cout);
     }
